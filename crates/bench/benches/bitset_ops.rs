@@ -1,0 +1,50 @@
+//! Time-bitset micro-benchmarks: the algebra underlying every Monte-Carlo
+//! run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leosim::TimeBitset;
+
+const LEN: usize = 10_081; // one week at 60 s
+
+fn patterned(period: usize, duty: usize) -> TimeBitset {
+    let mut b = TimeBitset::zeros(LEN);
+    for k in 0..LEN {
+        if k % period < duty {
+            b.set(k);
+        }
+    }
+    b
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let a = patterned(97, 9);
+    let b = patterned(61, 7);
+
+    c.bench_function("bitset_union_assign_week", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.union_assign(&b);
+            std::hint::black_box(x.count_ones())
+        })
+    });
+    c.bench_function("bitset_marginal_gain_week", |bch| {
+        bch.iter(|| std::hint::black_box(a.marginal_gain(&b)))
+    });
+    c.bench_function("bitset_count_ones_week", |bch| {
+        bch.iter(|| std::hint::black_box(a.count_ones()))
+    });
+    c.bench_function("bitset_gap_extraction_week", |bch| {
+        bch.iter(|| std::hint::black_box(a.runs_of_zeros().len()))
+    });
+    c.bench_function("bitset_union_of_1000", |bch| {
+        let sets: Vec<TimeBitset> = (0..1000).map(|i| patterned(53 + i % 47, 5)).collect();
+        bch.iter(|| std::hint::black_box(TimeBitset::union_of(sets.iter(), LEN).count_ones()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ops
+}
+criterion_main!(benches);

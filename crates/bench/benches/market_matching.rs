@@ -1,0 +1,45 @@
+//! Order-book matching throughput: how fast a replica absorbs a gossiped
+//! order stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcp::crypto::KeyDirectory;
+use dcp::market::{make_order, OrderBook};
+use dcp::messages::MarketOrder;
+
+fn order_stream(n: usize) -> Vec<MarketOrder> {
+    let mut keys = KeyDirectory::new();
+    keys.register_derived("p", b"bench");
+    (0..n)
+        .map(|i| {
+            let is_bid = i % 2 == 0;
+            // Deterministic pseudo-random walk of prices around 1.0.
+            let price = 1.0 + ((i * 2654435761) % 100) as f64 / 1000.0 - 0.05;
+            make_order(&keys, "p", is_bid, price, 1 + (i % 7) as u64, i as u64).unwrap()
+        })
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orderbook_submit");
+    for n in [100usize, 1000] {
+        let stream = order_stream(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &stream, |b, stream| {
+            b.iter(|| {
+                let mut book = OrderBook::new();
+                for o in stream {
+                    book.submit(o.clone());
+                }
+                std::hint::black_box(book.trades().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matching
+}
+criterion_main!(benches);

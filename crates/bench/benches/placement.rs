@@ -1,0 +1,41 @@
+//! Placement-optimizer benchmarks: marginal-gain evaluation and greedy
+//! selection, the inner loops of the §3.3 planning experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leosim::visibility::{SimConfig, VisibilityTable};
+use leosim::TimeGrid;
+use mpleo::placement::{greedy_select, marginal_gain_s};
+use orbital::constellation::{walker_delta, ShellSpec};
+use orbital::time::Epoch;
+
+fn setup() -> (VisibilityTable, Vec<f64>) {
+    let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+    let spec = ShellSpec { planes: 12, sats_per_plane: 10, ..ShellSpec::starlink_like() };
+    let sats = walker_delta(&spec, epoch);
+    let cities = geodata::paper_cities();
+    let sites = geodata::to_sites(&cities);
+    let weights = geodata::population_weights(&cities);
+    let grid = TimeGrid::new(epoch, 86_400.0, 120.0);
+    (VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default()), weights)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let (vt, weights) = setup();
+    let base: Vec<usize> = (0..60).collect();
+
+    c.bench_function("marginal_gain_60base_21cities", |b| {
+        b.iter(|| std::hint::black_box(marginal_gain_s(&vt, &base, 100, &weights)))
+    });
+
+    let candidates: Vec<usize> = (60..120).collect();
+    c.bench_function("greedy_select_5_of_60", |b| {
+        b.iter(|| std::hint::black_box(greedy_select(&vt, &base, &candidates, 5, &weights)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_placement
+}
+criterion_main!(benches);

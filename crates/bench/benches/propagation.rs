@@ -1,0 +1,60 @@
+//! Propagator micro-benchmarks: the per-step cost that bounds every
+//! coverage experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orbital::constellation::single_plane;
+use orbital::propagator::{KeplerJ2, Propagator, Sgp4};
+use orbital::time::Epoch;
+
+fn epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+fn bench_single_step(c: &mut Criterion) {
+    let sat = &single_plane(1, 550.0, 53.0, epoch())[0];
+    let kj2 = KeplerJ2::from_elements(&sat.elements, sat.epoch);
+    let sgp4 = Sgp4::from_tle(&sat.to_tle()).unwrap();
+    let t = epoch().plus_minutes(137.0);
+
+    let mut g = c.benchmark_group("propagate_single");
+    g.bench_function("kepler_j2", |b| b.iter(|| std::hint::black_box(kj2.propagate(t))));
+    g.bench_function("sgp4", |b| b.iter(|| std::hint::black_box(sgp4.propagate(t))));
+    g.finish();
+}
+
+fn bench_day_sweep(c: &mut Criterion) {
+    // One satellite stepped across a full day at 60 s (1440 steps), the
+    // simulator's inner loop shape.
+    let sat = &single_plane(1, 550.0, 53.0, epoch())[0];
+    let kj2 = KeplerJ2::from_elements(&sat.elements, sat.epoch);
+    let mut g = c.benchmark_group("propagate_day_1440_steps");
+    for step_s in [60.0f64, 120.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(step_s as u64), &step_s, |b, &step| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                let steps = (86_400.0 / step) as usize;
+                for k in 0..steps {
+                    let t = epoch().plus_seconds(k as f64 * step);
+                    acc += kj2.propagate(t).position.x;
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sgp4_init(c: &mut Criterion) {
+    let sat = &single_plane(1, 550.0, 53.0, epoch())[0];
+    let tle = sat.to_tle();
+    c.bench_function("sgp4_init_from_tle", |b| {
+        b.iter(|| std::hint::black_box(Sgp4::from_tle(&tle).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_single_step, bench_day_sweep, bench_sgp4_init
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Visibility-engine benchmarks: the do-once cost of materializing the
+//! per-(satellite, site) tables every experiment shares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leosim::visibility::{SimConfig, VisibilityTable};
+use leosim::TimeGrid;
+use orbital::constellation::{walker_delta, ShellSpec};
+use orbital::time::Epoch;
+
+fn epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+fn bench_table(c: &mut Criterion) {
+    let sites = geodata::to_sites(&geodata::paper_cities());
+    let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 120.0);
+    let mut g = c.benchmark_group("visibility_table_6h_21cities");
+    for sats in [50u32, 200] {
+        let spec = ShellSpec {
+            planes: sats / 10,
+            sats_per_plane: 10,
+            ..ShellSpec::starlink_like()
+        };
+        let constellation = walker_delta(&spec, epoch());
+        g.bench_with_input(BenchmarkId::from_parameter(sats), &constellation, |b, cons| {
+            b.iter(|| {
+                std::hint::black_box(VisibilityTable::compute(
+                    cons,
+                    &sites,
+                    &grid,
+                    &SimConfig::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_coverage_union(c: &mut Criterion) {
+    // The per-run cost of the Monte-Carlo experiments: unioning a subset.
+    let spec = ShellSpec { planes: 20, sats_per_plane: 10, ..ShellSpec::starlink_like() };
+    let constellation = walker_delta(&spec, epoch());
+    let sites = geodata::to_sites(&geodata::paper_cities());
+    let grid = TimeGrid::new(epoch(), 86_400.0, 120.0);
+    let vt = VisibilityTable::compute(&constellation, &sites, &grid, &SimConfig::default());
+    let subset: Vec<usize> = (0..100).collect();
+    c.bench_function("coverage_union_100sats_21sites", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for site in 0..vt.site_count() {
+                total += vt.coverage_union(&subset, site).count_ones();
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table, bench_coverage_union
+}
+criterion_main!(benches);

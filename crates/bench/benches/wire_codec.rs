@@ -1,0 +1,65 @@
+//! Wire-codec throughput: encode/decode cost per protocol frame.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcp::crypto::KeyDirectory;
+use dcp::messages::{GossipItem, Message};
+use dcp::poc::CoverageReceipt;
+use dcp::wire::{decode, encode};
+
+fn keys() -> KeyDirectory {
+    let mut k = KeyDirectory::new();
+    k.register_derived("gs", b"bench");
+    k
+}
+
+fn payload(n: usize) -> Message {
+    let k = keys();
+    let items: Vec<GossipItem> = (0..n)
+        .map(|i| {
+            GossipItem::Receipt(
+                CoverageReceipt::create(&k, i as u32, "gs", "owner", i as f64, 45.0).unwrap(),
+            )
+        })
+        .collect();
+    Message::GossipPayload { items }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    for n in [1usize, 100] {
+        let msg = payload(n);
+        let frame = encode(&msg).unwrap();
+        let mut g = c.benchmark_group(format!("wire_{n}_receipts"));
+        g.throughput(Throughput::Bytes(frame.len() as u64));
+        g.bench_function("encode", |b| b.iter(|| std::hint::black_box(encode(&msg).unwrap())));
+        g.bench_function("decode", |b| {
+            b.iter(|| {
+                let mut buf = BytesMut::from(&frame[..]);
+                std::hint::black_box(decode(&mut buf).unwrap().unwrap())
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_signing(c: &mut Criterion) {
+    let k = keys();
+    c.bench_function("hmac_sign_receipt", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                CoverageReceipt::create(&k, 1, "gs", "owner", 60.0, 45.0).unwrap(),
+            )
+        })
+    });
+    c.bench_function("sha256_1kib", |b| {
+        let data = vec![0xA5u8; 1024];
+        b.iter(|| std::hint::black_box(dcp::crypto::sha256(&data)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codec, bench_signing
+}
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! # mpleo-bench — the experiment harness
+//!
+//! One binary per figure of the paper (`fig1a`, `fig2`, … `fig6`) plus
+//! three ablation studies; each prints the series the paper plots. Run with
+//! `cargo run --release -p mpleo-bench --bin fig2`.
+//!
+//! Two fidelity levels:
+//!
+//! * **default** — scaled-down (shorter horizon, coarser step, fewer
+//!   Monte-Carlo runs) so every figure regenerates in seconds on a laptop;
+//! * **full** — the paper's settings (1 week, 60 s step, 100 runs), enabled
+//!   by setting `MPLEO_FULL=1`.
+//!
+//! Every binary prints which fidelity it ran and the exact parameters, so
+//! EXPERIMENTS.md can record paper-vs-measured unambiguously.
+
+use geodata::{paper_cities, population_weights, City};
+use leosim::visibility::{SimConfig, VisibilityTable};
+use leosim::TimeGrid;
+use orbital::constellation::{starlink_gen1_pool, Satellite};
+use orbital::ground::GroundSite;
+use orbital::time::Epoch;
+
+/// Experiment fidelity settings.
+#[derive(Debug, Clone, Copy)]
+pub struct Fidelity {
+    /// Simulated horizon, seconds.
+    pub horizon_s: f64,
+    /// Time step, seconds.
+    pub step_s: f64,
+    /// Monte-Carlo runs per point.
+    pub runs: usize,
+    /// True when running the paper's full settings.
+    pub full: bool,
+}
+
+impl Fidelity {
+    /// Resolve fidelity from the `MPLEO_FULL` environment variable.
+    pub fn from_env() -> Fidelity {
+        let full = std::env::var("MPLEO_FULL").map(|v| v == "1").unwrap_or(false);
+        if full {
+            Fidelity { horizon_s: 7.0 * 86_400.0, step_s: 60.0, runs: 100, full: true }
+        } else {
+            Fidelity { horizon_s: 2.0 * 86_400.0, step_s: 120.0, runs: 15, full: false }
+        }
+    }
+
+    /// Print the standard experiment banner.
+    pub fn banner(&self, figure: &str, what: &str) {
+        println!("=== {figure}: {what} ===");
+        println!(
+            "fidelity: {} (horizon {:.1} days, step {:.0} s, {} runs){}",
+            if self.full { "FULL (paper settings)" } else { "quick" },
+            self.horizon_s / 86_400.0,
+            self.step_s,
+            self.runs,
+            if self.full { "" } else { "  [set MPLEO_FULL=1 for paper settings]" }
+        );
+    }
+}
+
+/// The common scenario epoch for all experiments.
+pub fn scenario_epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+/// The standard experiment context: Starlink-like pool, the paper's 21
+/// cities with population weights, and a time grid.
+pub struct Context {
+    /// The satellite pool (Starlink Gen1-like, ~4.4k satellites).
+    pub pool: Vec<Satellite>,
+    /// The paper's 21-city terminal set.
+    pub cities: Vec<City>,
+    /// City ground sites (same order as `cities`).
+    pub sites: Vec<GroundSite>,
+    /// Population weights (same order, sum 1).
+    pub weights: Vec<f64>,
+    /// The simulation grid.
+    pub grid: TimeGrid,
+    /// Link configuration.
+    pub config: SimConfig,
+}
+
+impl Context {
+    /// Build the standard context at a fidelity.
+    pub fn new(fidelity: &Fidelity) -> Context {
+        let epoch = scenario_epoch();
+        let pool = starlink_gen1_pool(epoch);
+        let cities = paper_cities();
+        let sites = geodata::to_sites(&cities);
+        let weights = population_weights(&cities);
+        let grid = TimeGrid::new(epoch, fidelity.horizon_s, fidelity.step_s);
+        Context { pool, cities, sites, weights, grid, config: SimConfig::default() }
+    }
+
+    /// Compute the pool-wide visibility table against the 21 cities.
+    /// This is the expensive step every sampling experiment shares.
+    pub fn city_table(&self) -> VisibilityTable {
+        VisibilityTable::compute(&self.pool, &self.sites, &self.grid, &self.config)
+    }
+
+    /// Compute a visibility table against a custom site list.
+    pub fn table_for(&self, sites: &[GroundSite]) -> VisibilityTable {
+        VisibilityTable::compute(&self.pool, sites, &self.grid, &self.config)
+    }
+}
+
+/// Render a simple aligned table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format seconds as `Xh Ym` style via the orbital helper.
+pub fn fmt_dur(seconds: f64) -> String {
+    orbital::time::format_duration(seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_defaults_quick() {
+        std::env::remove_var("MPLEO_FULL");
+        let f = Fidelity::from_env();
+        assert!(!f.full);
+        assert!(f.runs < 100);
+    }
+
+    #[test]
+    fn context_builds() {
+        let f = Fidelity { horizon_s: 3600.0, step_s: 600.0, runs: 1, full: false };
+        let ctx = Context::new(&f);
+        assert_eq!(ctx.cities.len(), 21);
+        assert_eq!(ctx.sites.len(), 21);
+        assert!((ctx.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(ctx.pool.len() > 4000);
+        assert_eq!(ctx.grid.steps, 7);
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

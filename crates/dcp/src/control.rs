@@ -1,0 +1,269 @@
+//! Replicated multi-party satellite control over gossip.
+//!
+//! Wraps [`mpleo::control::ControlGroup`] (the m-of-n command state
+//! machine) for epidemic delivery: control events arrive signed and in
+//! arbitrary order, so this layer verifies signatures, buffers votes that
+//! precede their proposal, and replays them once the proposal lands. Two
+//! replicas that have seen the same event set always converge to the same
+//! executed-command log.
+
+use crate::crypto::{KeyDirectory, Signature};
+use mpleo::control::{Command, ControlError, ControlGroup, ProposalState};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A signed control-plane event, gossiped between parties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlEvent {
+    /// Propose a command on a satellite.
+    Propose {
+        /// Proposal id (proposer-unique; content-hash dedup handles races).
+        proposal_id: u64,
+        /// Target satellite.
+        sat_id: u32,
+        /// Proposing party.
+        party: String,
+        /// The command.
+        command: Command,
+        /// Proposer's HMAC tag.
+        signature: Signature,
+    },
+    /// Vote on a pending proposal.
+    Vote {
+        /// Proposal being voted on.
+        proposal_id: u64,
+        /// Voting party.
+        party: String,
+        /// Approve or reject.
+        approve: bool,
+        /// Voter's HMAC tag.
+        signature: Signature,
+    },
+}
+
+impl ControlEvent {
+    /// The party asserting this event.
+    pub fn party(&self) -> &str {
+        match self {
+            ControlEvent::Propose { party, .. } | ControlEvent::Vote { party, .. } => party,
+        }
+    }
+
+    /// Canonical signing bytes of a proposal.
+    pub fn propose_bytes(proposal_id: u64, sat_id: u32, party: &str, command: &Command) -> Vec<u8> {
+        let cmd = serde_json::to_string(command).expect("commands serialize");
+        format!("ctrl-prop|{proposal_id}|{sat_id}|{party}|{cmd}").into_bytes()
+    }
+
+    /// Canonical signing bytes of a vote.
+    pub fn vote_bytes(proposal_id: u64, party: &str, approve: bool) -> Vec<u8> {
+        format!("ctrl-vote|{proposal_id}|{party}|{approve}").into_bytes()
+    }
+
+    /// Build a signed proposal.
+    pub fn propose(
+        keys: &KeyDirectory,
+        proposal_id: u64,
+        sat_id: u32,
+        party: &str,
+        command: Command,
+    ) -> Option<ControlEvent> {
+        let signature = keys.sign(party, &Self::propose_bytes(proposal_id, sat_id, party, &command))?;
+        Some(ControlEvent::Propose {
+            proposal_id,
+            sat_id,
+            party: party.to_string(),
+            command,
+            signature,
+        })
+    }
+
+    /// Build a signed vote.
+    pub fn vote(
+        keys: &KeyDirectory,
+        proposal_id: u64,
+        party: &str,
+        approve: bool,
+    ) -> Option<ControlEvent> {
+        let signature = keys.sign(party, &Self::vote_bytes(proposal_id, party, approve))?;
+        Some(ControlEvent::Vote { proposal_id, party: party.to_string(), approve, signature })
+    }
+
+    /// Verify the event's signature against the directory.
+    pub fn verify(&self, keys: &KeyDirectory) -> bool {
+        match self {
+            ControlEvent::Propose { proposal_id, sat_id, party, command, signature } => keys
+                .verify(party, &Self::propose_bytes(*proposal_id, *sat_id, party, command), signature),
+            ControlEvent::Vote { proposal_id, party, approve, signature } => {
+                keys.verify(party, &Self::vote_bytes(*proposal_id, party, *approve), signature)
+            }
+        }
+    }
+}
+
+/// The replicated control state: the group machine plus an out-of-order
+/// vote buffer.
+#[derive(Debug, Clone)]
+pub struct ReplicatedControl {
+    /// The underlying command state machine.
+    pub group: ControlGroup,
+    pending_votes: HashMap<u64, Vec<(String, bool)>>,
+    /// Events dropped by verification or state-machine rules.
+    pub rejected: u64,
+}
+
+impl ReplicatedControl {
+    /// Wrap a control group.
+    pub fn new(group: ControlGroup) -> Self {
+        ReplicatedControl { group, pending_votes: HashMap::new(), rejected: 0 }
+    }
+
+    /// Apply a *verified* event (signature checking is the caller's job —
+    /// the node does it once per gossip arrival).
+    pub fn apply(&mut self, event: &ControlEvent) {
+        match event {
+            ControlEvent::Propose { proposal_id, sat_id, party, command, .. } => {
+                match self.group.propose(*proposal_id, *sat_id, party, command.clone()) {
+                    Ok(_) => {
+                        // Replay any votes that arrived early.
+                        if let Some(votes) = self.pending_votes.remove(proposal_id) {
+                            for (voter, approve) in votes {
+                                let _ = self.group.vote(*proposal_id, &voter, approve);
+                            }
+                        }
+                    }
+                    Err(ControlError::DuplicateProposal(_)) => {} // idempotent
+                    Err(_) => self.rejected += 1,
+                }
+            }
+            ControlEvent::Vote { proposal_id, party, approve, .. } => {
+                match self.group.vote(*proposal_id, party, *approve) {
+                    Ok(_) => {}
+                    Err(ControlError::UnknownProposal(_)) => {
+                        // Buffer until the proposal arrives.
+                        self.pending_votes
+                            .entry(*proposal_id)
+                            .or_default()
+                            .push((party.clone(), *approve));
+                    }
+                    Err(ControlError::Closed(_)) => {} // late votes are fine
+                    Err(_) => self.rejected += 1,
+                }
+            }
+        }
+    }
+
+    /// State of a proposal, if known.
+    pub fn state(&self, proposal_id: u64) -> Option<ProposalState> {
+        self.group.proposal(proposal_id).map(|p| p.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> KeyDirectory {
+        let mut k = KeyDirectory::new();
+        for p in ["a", "b", "c"] {
+            k.register_derived(p, b"ctrl-test");
+        }
+        k
+    }
+
+    fn group() -> ControlGroup {
+        let mut g = ControlGroup::new(["a", "b", "c"].map(String::from), 2);
+        g.register_satellite(1, "a");
+        g
+    }
+
+    fn events() -> Vec<ControlEvent> {
+        let k = keys();
+        vec![
+            ControlEvent::propose(&k, 1, 1, "a", Command::SafeMode).unwrap(),
+            ControlEvent::vote(&k, 1, "b", true).unwrap(),
+            ControlEvent::vote(&k, 1, "c", false).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn signatures_verify_and_tampering_detected() {
+        let k = keys();
+        let e = ControlEvent::propose(&k, 1, 1, "a", Command::Deorbit).unwrap();
+        assert!(e.verify(&k));
+        let ControlEvent::Propose { proposal_id, sat_id, party, signature, .. } = e else {
+            unreachable!()
+        };
+        let tampered = ControlEvent::Propose {
+            proposal_id,
+            sat_id,
+            party,
+            command: Command::SafeMode, // command swapped after signing
+            signature,
+        };
+        assert!(!tampered.verify(&k));
+        assert!(ControlEvent::vote(&k, 1, "ghost", true).is_none());
+    }
+
+    #[test]
+    fn in_order_application_executes() {
+        let mut rc = ReplicatedControl::new(group());
+        for e in events() {
+            rc.apply(&e);
+        }
+        assert_eq!(rc.state(1), Some(ProposalState::Executed));
+        assert_eq!(rc.rejected, 0);
+    }
+
+    #[test]
+    fn out_of_order_votes_buffered_and_replayed() {
+        let evs = events();
+        // Votes first, proposal last.
+        let mut rc = ReplicatedControl::new(group());
+        rc.apply(&evs[1]);
+        rc.apply(&evs[2]);
+        assert_eq!(rc.state(1), None, "proposal not yet known");
+        rc.apply(&evs[0]);
+        assert_eq!(rc.state(1), Some(ProposalState::Executed));
+    }
+
+    #[test]
+    fn all_permutations_converge() {
+        let evs = events();
+        let mut digests = std::collections::HashSet::new();
+        for perm in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let mut rc = ReplicatedControl::new(group());
+            for &i in &perm {
+                rc.apply(&evs[i]);
+            }
+            assert_eq!(rc.state(1), Some(ProposalState::Executed), "perm {perm:?}");
+            digests.insert(rc.group.log_digest());
+        }
+        assert_eq!(digests.len(), 1, "replicas diverged");
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let evs = events();
+        let mut rc = ReplicatedControl::new(group());
+        for _ in 0..3 {
+            for e in &evs {
+                rc.apply(e);
+            }
+        }
+        assert_eq!(rc.state(1), Some(ProposalState::Executed));
+        assert_eq!(rc.group.executed, vec![1], "executed exactly once");
+    }
+
+    #[test]
+    fn outsider_events_counted_rejected() {
+        let mut k = keys();
+        k.register_derived("mallory", b"ctrl-test");
+        let mut rc = ReplicatedControl::new(group());
+        // mallory has a key but is not a control-group member.
+        let e = ControlEvent::propose(&k, 9, 1, "mallory", Command::Deorbit).unwrap();
+        rc.apply(&e);
+        assert_eq!(rc.rejected, 1);
+        assert_eq!(rc.state(9), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! The gossip state machine (pure logic; the socket plumbing lives in
+//! [`crate::node`]).
+//!
+//! Epidemic broadcast with three message types:
+//!
+//! * on learning a new item, a node **announces** its id to all peers;
+//! * a peer missing the id sends a **request**;
+//! * the holder replies with the **payload**.
+//!
+//! A periodic anti-entropy tick re-announces the full id set so items
+//! eventually reach nodes that joined late or missed frames. The store is
+//! the node's source of truth; dedup falls out of content-addressed ids.
+
+use crate::messages::{GossipItem, ItemId, Message};
+use std::collections::HashMap;
+
+/// The gossip item store plus protocol reaction logic.
+#[derive(Debug, Default)]
+pub struct GossipState {
+    items: HashMap<ItemId, GossipItem>,
+}
+
+impl GossipState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of items held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether an item id is held.
+    pub fn contains(&self, id: &str) -> bool {
+        self.items.contains_key(id)
+    }
+
+    /// All held ids (unordered).
+    pub fn ids(&self) -> Vec<ItemId> {
+        self.items.keys().cloned().collect()
+    }
+
+    /// Get an item by id.
+    pub fn get(&self, id: &str) -> Option<&GossipItem> {
+        self.items.get(id)
+    }
+
+    /// Iterate over held items.
+    pub fn iter(&self) -> impl Iterator<Item = (&ItemId, &GossipItem)> {
+        self.items.iter()
+    }
+
+    /// Insert a locally originated or received item. Returns `Some(id)` if
+    /// the item was new (and should be announced), `None` if duplicate.
+    pub fn insert(&mut self, item: GossipItem) -> Option<ItemId> {
+        let id = item.id();
+        if self.items.contains_key(&id) {
+            return None;
+        }
+        self.items.insert(id.clone(), item);
+        Some(id)
+    }
+
+    /// React to an **announce**: which of the announced ids do we need?
+    /// Returns a request message if any are missing.
+    pub fn on_announce(&self, ids: &[ItemId]) -> Option<Message> {
+        let missing: Vec<ItemId> = ids.iter().filter(|id| !self.contains(id)).cloned().collect();
+        if missing.is_empty() {
+            None
+        } else {
+            Some(Message::GossipRequest { ids: missing })
+        }
+    }
+
+    /// React to a **request**: return the payload of the ids we hold.
+    pub fn on_request(&self, ids: &[ItemId]) -> Option<Message> {
+        let items: Vec<GossipItem> = ids.iter().filter_map(|id| self.get(id).cloned()).collect();
+        if items.is_empty() {
+            None
+        } else {
+            Some(Message::GossipPayload { items })
+        }
+    }
+
+    /// React to a **payload**: insert each item, returning the ids that
+    /// were new (these should be re-announced to other peers, and handed to
+    /// the application layer).
+    pub fn on_payload(&mut self, items: Vec<GossipItem>) -> Vec<(ItemId, GossipItem)> {
+        let mut fresh = Vec::new();
+        for item in items {
+            if let Some(id) = self.insert(item.clone()) {
+                fresh.push((id, item));
+            }
+        }
+        fresh
+    }
+
+    /// The periodic anti-entropy announcement (full id set).
+    pub fn anti_entropy_announce(&self) -> Option<Message> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(Message::GossipAnnounce { ids: self.ids() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::MarketOrder;
+
+    fn order(seq: u64) -> GossipItem {
+        GossipItem::Order(MarketOrder {
+            party: "p".into(),
+            is_bid: true,
+            price: 1.0,
+            quantity: 10,
+            sequence: seq,
+            signature: "sig".into(),
+        })
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut g = GossipState::new();
+        let id = g.insert(order(1)).expect("new item");
+        assert!(g.insert(order(1)).is_none(), "duplicate suppressed");
+        assert!(g.contains(&id));
+        assert_eq!(g.len(), 1);
+        assert!(g.insert(order(2)).is_some());
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn announce_request_payload_flow() {
+        let mut holder = GossipState::new();
+        let mut seeker = GossipState::new();
+        let id = holder.insert(order(1)).unwrap();
+
+        // Holder announces; seeker requests what it misses.
+        let req = seeker.on_announce(std::slice::from_ref(&id)).expect("missing item");
+        let Message::GossipRequest { ids } = req else { panic!() };
+        assert_eq!(ids, vec![id.clone()]);
+
+        // Holder serves the payload; seeker ingests it.
+        let payload = holder.on_request(&ids).expect("has item");
+        let Message::GossipPayload { items } = payload else { panic!() };
+        let fresh = seeker.on_payload(items);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].0, id);
+        assert!(seeker.contains(&id));
+
+        // Second announce round: nothing missing.
+        assert!(seeker.on_announce(&[id]).is_none());
+    }
+
+    #[test]
+    fn request_for_unknown_ids_yields_nothing() {
+        let g = GossipState::new();
+        assert!(g.on_request(&["nope".into()]).is_none());
+    }
+
+    #[test]
+    fn partial_requests_served_partially() {
+        let mut g = GossipState::new();
+        let id = g.insert(order(1)).unwrap();
+        let msg = g.on_request(&[id, "unknown".into()]).unwrap();
+        let Message::GossipPayload { items } = msg else { panic!() };
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn payload_reinsert_not_fresh() {
+        let mut g = GossipState::new();
+        g.insert(order(1)).unwrap();
+        let fresh = g.on_payload(vec![order(1), order(2)]);
+        assert_eq!(fresh.len(), 1, "only the unseen item is fresh");
+    }
+
+    #[test]
+    fn anti_entropy_announces_everything() {
+        let mut g = GossipState::new();
+        assert!(g.anti_entropy_announce().is_none());
+        g.insert(order(1)).unwrap();
+        g.insert(order(2)).unwrap();
+        let Some(Message::GossipAnnounce { ids }) = g.anti_entropy_announce() else {
+            panic!()
+        };
+        assert_eq!(ids.len(), 2);
+    }
+}

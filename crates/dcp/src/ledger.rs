@@ -1,0 +1,256 @@
+//! The replicated receipt ledger: quorum attestation and reward accounting.
+//!
+//! Every node holds a full copy of the ledger, fed by gossip. A coverage
+//! receipt becomes *confirmed* once a quorum of distinct parties has
+//! attested it valid; confirmed receipts mint rewards to the satellite
+//! owner and the verifying ground station. Because items arrive via gossip
+//! in arbitrary order, the ledger accepts attestations before their receipt
+//! and re-evaluates confirmation as pieces arrive. All operations are
+//! idempotent, which makes ledger state a CRDT (grow-only maps) — two nodes
+//! that have seen the same item set hold identical ledgers regardless of
+//! arrival order.
+
+use crate::messages::ItemId;
+use crate::poc::{Attestation, CoverageReceipt};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Ledger policy parameters (network-wide constants in the prototype).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LedgerConfig {
+    /// Number of distinct valid attestations required to confirm a receipt.
+    pub quorum: usize,
+    /// Credits minted per confirmed receipt.
+    pub reward_per_receipt: f64,
+    /// Fraction of the reward paid to the verifier (rest to the owner).
+    pub verifier_share: f64,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        LedgerConfig { quorum: 2, reward_per_receipt: 1.0, verifier_share: 0.2 }
+    }
+}
+
+/// A receipt plus the attestations seen for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReceiptEntry {
+    /// The receipt body (may lag its attestations during gossip).
+    pub receipt: Option<CoverageReceipt>,
+    /// Attestor -> verdict.
+    pub attestations: BTreeMap<String, bool>,
+}
+
+impl ReceiptEntry {
+    fn new() -> Self {
+        ReceiptEntry { receipt: None, attestations: BTreeMap::new() }
+    }
+
+    /// Count of attestations that deemed the receipt valid.
+    pub fn valid_votes(&self) -> usize {
+        self.attestations.values().filter(|&&v| v).count()
+    }
+}
+
+/// The replicated ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    /// Policy parameters.
+    pub config: LedgerConfig,
+    entries: HashMap<ItemId, ReceiptEntry>,
+}
+
+impl Ledger {
+    /// Empty ledger with the given policy.
+    pub fn new(config: LedgerConfig) -> Self {
+        Ledger { config, entries: HashMap::new() }
+    }
+
+    /// Record a receipt under its content id. Idempotent.
+    pub fn insert_receipt(&mut self, id: ItemId, receipt: CoverageReceipt) {
+        let entry = self.entries.entry(id).or_insert_with(ReceiptEntry::new);
+        if entry.receipt.is_none() {
+            entry.receipt = Some(receipt);
+        }
+    }
+
+    /// Record an attestation (receipt body may not have arrived yet).
+    /// Idempotent per (receipt, attestor); a attestor's first verdict wins.
+    pub fn insert_attestation(&mut self, att: &Attestation) {
+        let entry = self.entries.entry(att.receipt_id.clone()).or_insert_with(ReceiptEntry::new);
+        entry.attestations.entry(att.attestor.clone()).or_insert(att.valid);
+    }
+
+    /// Whether a receipt is confirmed (body present + quorum of valid
+    /// votes).
+    pub fn is_confirmed(&self, id: &str) -> bool {
+        self.entries
+            .get(id)
+            .map(|e| e.receipt.is_some() && e.valid_votes() >= self.config.quorum)
+            .unwrap_or(false)
+    }
+
+    /// Number of receipts tracked (confirmed or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids of all confirmed receipts, sorted (deterministic across nodes).
+    pub fn confirmed_ids(&self) -> Vec<ItemId> {
+        let mut ids: Vec<ItemId> = self
+            .entries
+            .iter()
+            .filter(|(id, _)| self.is_confirmed(id))
+            .map(|(id, _)| id.clone())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Look up an entry.
+    pub fn entry(&self, id: &str) -> Option<&ReceiptEntry> {
+        self.entries.get(id)
+    }
+
+    /// Mint rewards for all confirmed receipts: per receipt, the owner
+    /// earns `reward * (1 - verifier_share)` and the verifier earns
+    /// `reward * verifier_share`. Returns party -> credits, sorted map for
+    /// determinism.
+    pub fn reward_balances(&self) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for id in self.confirmed_ids() {
+            let entry = &self.entries[&id];
+            let receipt = entry.receipt.as_ref().expect("confirmed implies body");
+            let reward = self.config.reward_per_receipt;
+            *out.entry(receipt.owner.clone()).or_default() +=
+                reward * (1.0 - self.config.verifier_share);
+            *out.entry(receipt.verifier.clone()).or_default() +=
+                reward * self.config.verifier_share;
+        }
+        out
+    }
+
+    /// Digest of the confirmed set (equal across converged nodes).
+    pub fn confirmed_digest(&self) -> String {
+        let joined = self.confirmed_ids().join(",");
+        crate::crypto::hex(&crate::crypto::sha256(joined.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::KeyDirectory;
+
+    fn keys() -> KeyDirectory {
+        let mut k = KeyDirectory::new();
+        for p in ["a", "b", "c", "owner", "gs"] {
+            k.register_derived(p, b"seed");
+        }
+        k
+    }
+
+    fn receipt() -> CoverageReceipt {
+        CoverageReceipt::create(&keys(), 1, "gs", "owner", 100.0, 45.0).unwrap()
+    }
+
+    fn attest(id: &str, who: &str, valid: bool) -> Attestation {
+        Attestation::create(&keys(), id, who, valid).unwrap()
+    }
+
+    #[test]
+    fn confirmation_requires_quorum_and_body() {
+        let mut l = Ledger::new(LedgerConfig { quorum: 2, ..Default::default() });
+        let id = "r1".to_string();
+        l.insert_attestation(&attest(&id, "a", true));
+        assert!(!l.is_confirmed(&id), "no body yet");
+        l.insert_receipt(id.clone(), receipt());
+        assert!(!l.is_confirmed(&id), "one vote < quorum");
+        l.insert_attestation(&attest(&id, "b", true));
+        assert!(l.is_confirmed(&id));
+    }
+
+    #[test]
+    fn invalid_votes_dont_count() {
+        let mut l = Ledger::new(LedgerConfig { quorum: 2, ..Default::default() });
+        let id = "r1".to_string();
+        l.insert_receipt(id.clone(), receipt());
+        l.insert_attestation(&attest(&id, "a", false));
+        l.insert_attestation(&attest(&id, "b", false));
+        l.insert_attestation(&attest(&id, "c", true));
+        assert!(!l.is_confirmed(&id));
+        assert_eq!(l.entry(&id).unwrap().valid_votes(), 1);
+    }
+
+    #[test]
+    fn duplicate_attestor_counted_once() {
+        let mut l = Ledger::new(LedgerConfig { quorum: 2, ..Default::default() });
+        let id = "r1".to_string();
+        l.insert_receipt(id.clone(), receipt());
+        l.insert_attestation(&attest(&id, "a", true));
+        l.insert_attestation(&attest(&id, "a", true));
+        assert!(!l.is_confirmed(&id), "same attestor twice is one vote");
+        // First verdict wins: a later contradictory vote is ignored.
+        l.insert_attestation(&attest(&id, "a", false));
+        assert_eq!(l.entry(&id).unwrap().valid_votes(), 1);
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn order_independence_crdt() {
+        let id = "r1".to_string();
+        let ops: Vec<Box<dyn Fn(&mut Ledger)>> = vec![
+            Box::new({
+                let id = id.clone();
+                move |l: &mut Ledger| l.insert_receipt(id.clone(), receipt())
+            }),
+            Box::new({
+                let id = id.clone();
+                move |l: &mut Ledger| l.insert_attestation(&attest(&id, "a", true))
+            }),
+            Box::new({
+                let id = id.clone();
+                move |l: &mut Ledger| l.insert_attestation(&attest(&id, "b", true))
+            }),
+        ];
+        // All 6 permutations converge to the same digest.
+        let mut digests = std::collections::HashSet::new();
+        for perm in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let mut l = Ledger::new(LedgerConfig::default());
+            for &i in &perm {
+                ops[i](&mut l);
+            }
+            digests.insert(l.confirmed_digest());
+            assert!(l.is_confirmed(&id));
+        }
+        assert_eq!(digests.len(), 1);
+    }
+
+    #[test]
+    fn rewards_split_owner_verifier() {
+        let cfg = LedgerConfig { quorum: 1, reward_per_receipt: 10.0, verifier_share: 0.3 };
+        let mut l = Ledger::new(cfg);
+        l.insert_receipt("r1".into(), receipt());
+        l.insert_attestation(&attest("r1", "a", true));
+        let b = l.reward_balances();
+        assert!((b["owner"] - 7.0).abs() < 1e-12);
+        assert!((b["gs"] - 3.0).abs() < 1e-12);
+        let total: f64 = b.values().sum();
+        assert!((total - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconfirmed_receipts_mint_nothing() {
+        let mut l = Ledger::new(LedgerConfig { quorum: 3, ..Default::default() });
+        l.insert_receipt("r1".into(), receipt());
+        l.insert_attestation(&attest("r1", "a", true));
+        assert!(l.reward_balances().is_empty());
+        assert_eq!(l.len(), 1);
+        assert!(!l.is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! The capacity market: a price-time-priority order book.
+//!
+//! Parties sell spare terminal-steps (asks) and buy coverage they lack
+//! (bids). Orders ride the gossip layer; every node runs the same
+//! deterministic matching engine over the same order set, so books converge
+//! without a central exchange. Matching is continuous double auction:
+//! an incoming order crosses the best opposite price first, trading at the
+//! *resting* order's price (standard price-time priority).
+
+use crate::messages::MarketOrder;
+use serde::{Deserialize, Serialize};
+
+/// A fill produced by the matching engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trade {
+    /// Buying party.
+    pub buyer: String,
+    /// Selling party.
+    pub seller: String,
+    /// Trade price per terminal-step (the resting order's price).
+    pub price: f64,
+    /// Quantity, terminal-steps.
+    pub quantity: u64,
+}
+
+/// A resting order (remaining quantity tracked separately from the
+/// original).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Resting {
+    order: MarketOrder,
+    remaining: u64,
+    arrival: u64,
+}
+
+/// The deterministic order book.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OrderBook {
+    bids: Vec<Resting>,
+    asks: Vec<Resting>,
+    trades: Vec<Trade>,
+    arrivals: u64,
+}
+
+impl OrderBook {
+    /// Empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Best (highest) bid price.
+    pub fn best_bid(&self) -> Option<f64> {
+        self.bids.iter().map(|r| r.order.price).fold(None, |acc, p| {
+            Some(acc.map_or(p, |a: f64| a.max(p)))
+        })
+    }
+
+    /// Best (lowest) ask price.
+    pub fn best_ask(&self) -> Option<f64> {
+        self.asks.iter().map(|r| r.order.price).fold(None, |acc, p| {
+            Some(acc.map_or(p, |a: f64| a.min(p)))
+        })
+    }
+
+    /// All fills so far, in execution order.
+    pub fn trades(&self) -> &[Trade] {
+        &self.trades
+    }
+
+    /// Open quantity on each side `(bid_qty, ask_qty)`.
+    pub fn open_interest(&self) -> (u64, u64) {
+        (
+            self.bids.iter().map(|r| r.remaining).sum(),
+            self.asks.iter().map(|r| r.remaining).sum(),
+        )
+    }
+
+    /// Submit an order, matching it against the opposite side.
+    /// Returns the fills it produced.
+    pub fn submit(&mut self, order: MarketOrder) -> Vec<Trade> {
+        let arrival = self.arrivals;
+        self.arrivals += 1;
+        let mut incoming = Resting { remaining: order.quantity, order, arrival };
+        let mut fills = Vec::new();
+        loop {
+            if incoming.remaining == 0 {
+                break;
+            }
+            // Find the best crossing resting order on the opposite side
+            // (price priority, then arrival order).
+            let book = if incoming.order.is_bid { &mut self.asks } else { &mut self.bids };
+            let best = book
+                .iter_mut()
+                .filter(|r| {
+                    if incoming.order.is_bid {
+                        r.order.price <= incoming.order.price
+                    } else {
+                        r.order.price >= incoming.order.price
+                    }
+                })
+                .min_by(|a, b| {
+                    let key_a = if incoming.order.is_bid { a.order.price } else { -a.order.price };
+                    let key_b = if incoming.order.is_bid { b.order.price } else { -b.order.price };
+                    key_a
+                        .partial_cmp(&key_b)
+                        .unwrap()
+                        .then(a.arrival.cmp(&b.arrival))
+                });
+            let Some(resting) = best else { break };
+            let qty = incoming.remaining.min(resting.remaining);
+            let (buyer, seller) = if incoming.order.is_bid {
+                (incoming.order.party.clone(), resting.order.party.clone())
+            } else {
+                (resting.order.party.clone(), incoming.order.party.clone())
+            };
+            let trade = Trade { buyer, seller, price: resting.order.price, quantity: qty };
+            incoming.remaining -= qty;
+            resting.remaining -= qty;
+            fills.push(trade.clone());
+            self.trades.push(trade);
+            book.retain(|r| r.remaining > 0);
+        }
+        if incoming.remaining > 0 {
+            if incoming.order.is_bid {
+                self.bids.push(incoming);
+            } else {
+                self.asks.push(incoming);
+            }
+        }
+        fills
+    }
+
+    /// Net credit flow per party over all trades (buyers negative).
+    pub fn settlement(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut out = std::collections::BTreeMap::new();
+        for t in &self.trades {
+            let value = t.price * t.quantity as f64;
+            *out.entry(t.seller.clone()).or_insert(0.0) += value;
+            *out.entry(t.buyer.clone()).or_insert(0.0) -= value;
+        }
+        out
+    }
+}
+
+/// Build a signed order helper (for tests, simulations, and examples).
+pub fn make_order(
+    keys: &crate::crypto::KeyDirectory,
+    party: &str,
+    is_bid: bool,
+    price: f64,
+    quantity: u64,
+    sequence: u64,
+) -> Option<MarketOrder> {
+    let sig = keys.sign(party, &MarketOrder::signing_bytes(party, is_bid, price, quantity, sequence))?;
+    Some(MarketOrder {
+        party: party.to_string(),
+        is_bid,
+        price,
+        quantity,
+        sequence,
+        signature: sig,
+    })
+}
+
+/// Verify an order's signature against the directory.
+pub fn verify_order(keys: &crate::crypto::KeyDirectory, order: &MarketOrder) -> bool {
+    keys.verify(
+        &order.party,
+        &MarketOrder::signing_bytes(&order.party, order.is_bid, order.price, order.quantity, order.sequence),
+        &order.signature,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::KeyDirectory;
+
+    fn keys() -> KeyDirectory {
+        let mut k = KeyDirectory::new();
+        for p in ["a", "b", "c"] {
+            k.register_derived(p, b"seed");
+        }
+        k
+    }
+
+    fn order(party: &str, is_bid: bool, price: f64, qty: u64, seq: u64) -> MarketOrder {
+        make_order(&keys(), party, is_bid, price, qty, seq).unwrap()
+    }
+
+    #[test]
+    fn no_cross_rests() {
+        let mut book = OrderBook::new();
+        assert!(book.submit(order("a", true, 1.0, 10, 0)).is_empty());
+        assert!(book.submit(order("b", false, 2.0, 10, 0)).is_empty());
+        assert_eq!(book.best_bid(), Some(1.0));
+        assert_eq!(book.best_ask(), Some(2.0));
+        assert_eq!(book.open_interest(), (10, 10));
+    }
+
+    #[test]
+    fn crossing_bid_fills_at_resting_price() {
+        let mut book = OrderBook::new();
+        book.submit(order("a", false, 1.5, 10, 0)); // ask 1.5
+        let fills = book.submit(order("b", true, 2.0, 4, 0)); // bid 2.0 crosses
+        assert_eq!(fills.len(), 1);
+        assert_eq!(fills[0].price, 1.5, "trades at resting ask");
+        assert_eq!(fills[0].quantity, 4);
+        assert_eq!(fills[0].buyer, "b");
+        assert_eq!(fills[0].seller, "a");
+        assert_eq!(book.open_interest(), (0, 6));
+    }
+
+    #[test]
+    fn partial_fill_walks_the_book() {
+        let mut book = OrderBook::new();
+        book.submit(order("a", false, 1.0, 5, 0));
+        book.submit(order("b", false, 1.2, 5, 0));
+        book.submit(order("c", false, 2.0, 5, 0)); // should not fill
+        let fills = book.submit(order("a", true, 1.5, 8, 1));
+        assert_eq!(fills.len(), 2);
+        // Cheapest ask first.
+        assert_eq!(fills[0].price, 1.0);
+        assert_eq!(fills[0].quantity, 5);
+        assert_eq!(fills[1].price, 1.2);
+        assert_eq!(fills[1].quantity, 3);
+        let (bid_open, ask_open) = book.open_interest();
+        assert_eq!(bid_open, 0);
+        assert_eq!(ask_open, 2 + 5);
+    }
+
+    #[test]
+    fn time_priority_at_equal_price() {
+        let mut book = OrderBook::new();
+        book.submit(order("a", false, 1.0, 5, 0));
+        book.submit(order("b", false, 1.0, 5, 0));
+        let fills = book.submit(order("c", true, 1.0, 5, 0));
+        assert_eq!(fills.len(), 1);
+        assert_eq!(fills[0].seller, "a", "first at price level fills first");
+    }
+
+    #[test]
+    fn settlement_conserves() {
+        let mut book = OrderBook::new();
+        book.submit(order("a", false, 1.0, 10, 0));
+        book.submit(order("b", true, 1.5, 6, 0));
+        book.submit(order("c", true, 1.0, 4, 0));
+        let s = book.settlement();
+        let net: f64 = s.values().sum();
+        assert!(net.abs() < 1e-9, "market must conserve credits: {net}");
+        assert!(s["a"] > 0.0, "seller earns");
+    }
+
+    #[test]
+    fn deterministic_across_replicas() {
+        // Two replicas fed the same order sequence converge exactly.
+        let seq = vec![
+            order("a", false, 1.0, 10, 0),
+            order("b", true, 1.2, 5, 0),
+            order("c", false, 0.9, 3, 0),
+            order("b", true, 0.95, 4, 1),
+        ];
+        let mut x = OrderBook::new();
+        let mut y = OrderBook::new();
+        for o in &seq {
+            x.submit(o.clone());
+        }
+        for o in &seq {
+            y.submit(o.clone());
+        }
+        assert_eq!(x.trades(), y.trades());
+        assert_eq!(x.open_interest(), y.open_interest());
+    }
+
+    #[test]
+    fn signatures_verify_and_tamper_detected() {
+        let k = keys();
+        let o = order("a", true, 1.0, 5, 0);
+        assert!(verify_order(&k, &o));
+        let mut bad = o.clone();
+        bad.price = 9.9;
+        assert!(!verify_order(&k, &bad));
+        assert!(make_order(&k, "ghost", true, 1.0, 1, 0).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::crypto::KeyDirectory;
+    use proptest::prelude::*;
+
+    fn dir() -> KeyDirectory {
+        let mut k = KeyDirectory::new();
+        for p in ["p0", "p1", "p2"] {
+            k.register_derived(p, b"prop");
+        }
+        k
+    }
+
+    proptest! {
+        /// Under any order stream: credits conserve, open interest never
+        /// goes negative (u64 by construction), and the book never holds a
+        /// crossed market (best bid < best ask when both sides rest).
+        #[test]
+        fn book_invariants_under_random_streams(
+            orders in proptest::collection::vec(
+                (0u8..3, any::<bool>(), 1u64..20, 90u64..110),
+                1..60,
+            ),
+        ) {
+            let keys = dir();
+            let mut book = OrderBook::new();
+            for (i, (p, is_bid, qty, price_c)) in orders.iter().enumerate() {
+                let party = format!("p{p}");
+                let price = *price_c as f64 / 100.0;
+                let o = make_order(&keys, &party, *is_bid, price, *qty, i as u64).unwrap();
+                book.submit(o);
+                if let (Some(bid), Some(ask)) = (book.best_bid(), book.best_ask()) {
+                    prop_assert!(bid < ask, "crossed book: bid {bid} >= ask {ask}");
+                }
+            }
+            let net: f64 = book.settlement().values().sum();
+            prop_assert!(net.abs() < 1e-6, "non-conserving settlement {net}");
+            // Trades never exceed submitted quantity.
+            let submitted: u64 = orders.iter().map(|(_, _, q, _)| q).sum();
+            let traded: u64 = book.trades().iter().map(|t| t.quantity).sum();
+            prop_assert!(traded <= submitted);
+        }
+    }
+}

@@ -1,0 +1,689 @@
+//! The async node runtime: TCP listener, per-peer reader/writer tasks,
+//! periodic anti-entropy, and graceful shutdown.
+//!
+//! Concurrency layout (one node):
+//!
+//! * an **accept loop** task owning the listener;
+//! * per connection, a **reader task** (dispatches inbound frames) and a
+//!   **writer task** (drains an unbounded mpsc of outbound messages) over
+//!   the split TCP stream;
+//! * an **anti-entropy task** re-announcing the full item set on a timer;
+//! * shared state ([`GossipState`], [`Ledger`], [`OrderBook`], withdrawal
+//!   log) behind a `parking_lot::Mutex` — never held across an await.
+//!
+//! Shutdown is a `tokio::sync::watch` broadcast: every task selects on it.
+
+use crate::control::ReplicatedControl;
+use crate::crypto::KeyDirectory;
+use crate::discovery::AddressBook;
+use crate::gossip::GossipState;
+use crate::ledger::{Ledger, LedgerConfig};
+use crate::market::{verify_order, OrderBook, Trade};
+use crate::messages::{GossipItem, Message, NodeId, WithdrawalNotice};
+use crate::poc::{verify_attestation, verify_receipt, Attestation, Scenario};
+use crate::wire::{read_frame, write_frame};
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::{mpsc, watch};
+
+/// Ticks of silence (anti-entropy intervals) before a peer is evicted.
+const PEER_SILENCE_LIMIT: u32 = 50;
+
+/// Node configuration.
+#[derive(Clone)]
+pub struct NodeConfig {
+    /// This node's identity (also its signing party id).
+    pub node_id: NodeId,
+    /// Address to listen on (use port 0 for an ephemeral port).
+    pub listen: SocketAddr,
+    /// The shared key directory.
+    pub keys: KeyDirectory,
+    /// Ledger policy.
+    pub ledger: LedgerConfig,
+    /// Shared scenario knowledge for receipt verification. When present and
+    /// `auto_attest` is set, the node attests every incoming receipt.
+    pub scenario: Option<Arc<Scenario>>,
+    /// Attest receipts automatically on arrival.
+    pub auto_attest: bool,
+    /// Multi-party control group this node participates in (None = the
+    /// node ignores control-plane events).
+    pub control: Option<mpleo::control::ControlGroup>,
+    /// Anti-entropy announce interval.
+    pub anti_entropy: Duration,
+    /// Advertise the listen address and run peer exchange.
+    pub advertise: bool,
+    /// When advertising, keep dialing discovered peers until this many
+    /// sessions are up.
+    pub target_degree: usize,
+}
+
+impl NodeConfig {
+    /// A localhost config with sane test defaults.
+    pub fn local(node_id: impl Into<NodeId>, keys: KeyDirectory) -> Self {
+        NodeConfig {
+            node_id: node_id.into(),
+            listen: "127.0.0.1:0".parse().expect("static addr"),
+            keys,
+            ledger: LedgerConfig::default(),
+            scenario: None,
+            auto_attest: false,
+            control: None,
+            anti_entropy: Duration::from_millis(200),
+            advertise: false,
+            target_degree: 3,
+        }
+    }
+}
+
+struct PeerSlot {
+    id: Option<NodeId>,
+    tx: mpsc::UnboundedSender<Message>,
+    /// Ticks since we last heard a frame from this peer.
+    silent_ticks: u32,
+}
+
+struct State {
+    gossip: GossipState,
+    ledger: Ledger,
+    book: OrderBook,
+    withdrawals: Vec<WithdrawalNotice>,
+    control: Option<ReplicatedControl>,
+    book_addr: AddressBook,
+    peers: Vec<PeerSlot>,
+    rejected: u64,
+}
+
+/// The node entry point.
+pub struct Node;
+
+impl Node {
+    /// Bind the listener and spawn the node's tasks. Returns a handle for
+    /// interaction and shutdown.
+    pub async fn start(mut config: NodeConfig) -> io::Result<NodeHandle> {
+        let listener = TcpListener::bind(config.listen).await?;
+        let local_addr = listener.local_addr()?;
+        config.listen = local_addr; // publish the resolved port
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let state = Arc::new(Mutex::new(State {
+            gossip: GossipState::new(),
+            ledger: Ledger::new(config.ledger),
+            book: OrderBook::new(),
+            withdrawals: Vec::new(),
+            control: config.control.clone().map(ReplicatedControl::new),
+            book_addr: AddressBook::new(Some(local_addr)),
+            peers: Vec::new(),
+            rejected: 0,
+        }));
+        let config = Arc::new(config);
+
+        // Accept loop.
+        {
+            let state = state.clone();
+            let config = config.clone();
+            let mut shutdown = shutdown_rx.clone();
+            tokio::spawn(async move {
+                loop {
+                    tokio::select! {
+                        _ = shutdown.changed() => break,
+                        accepted = listener.accept() => {
+                            match accepted {
+                                Ok((stream, _)) => {
+                                    spawn_peer(stream, state.clone(), config.clone(), shutdown.clone(), None);
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Anti-entropy + peer-exchange loop.
+        {
+            let state = state.clone();
+            let mut shutdown = shutdown_rx.clone();
+            let interval = config.anti_entropy;
+            let config2 = config.clone();
+            tokio::spawn(async move {
+                let mut ticker = tokio::time::interval(interval);
+                ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+                loop {
+                    tokio::select! {
+                        _ = shutdown.changed() => break,
+                        _ = ticker.tick() => {
+                            let dials = {
+                                let mut st = state.lock();
+                                // Liveness: ping everyone, age the silence
+                                // counters, and drop peers that have said
+                                // nothing for many ticks (a pong resets).
+                                for p in st.peers.iter_mut() {
+                                    let _ = p.tx.send(Message::Ping { nonce: 0 });
+                                    p.silent_ticks = p.silent_ticks.saturating_add(1);
+                                }
+                                st.peers.retain(|p| p.silent_ticks <= PEER_SILENCE_LIMIT && !p.tx.is_closed());
+                                if let Some(msg) = st.gossip.anti_entropy_announce() {
+                                    for p in &st.peers {
+                                        let _ = p.tx.send(msg.clone());
+                                    }
+                                }
+                                if config2.advertise {
+                                    let addrs: Vec<String> = st
+                                        .book_addr
+                                        .shareable()
+                                        .iter()
+                                        .map(|a| a.to_string())
+                                        .collect();
+                                    if !addrs.is_empty() {
+                                        let pex = Message::PeerExchange { addrs };
+                                        for p in &st.peers {
+                                            let _ = p.tx.send(pex.clone());
+                                        }
+                                    }
+                                    let cands = st.book_addr.dial_candidates(config2.target_degree);
+                                    for c in &cands {
+                                        st.book_addr.mark_connected(*c); // optimistic
+                                    }
+                                    cands
+                                } else {
+                                    Vec::new()
+                                }
+                            };
+                            for addr in dials {
+                                match TcpStream::connect(addr).await {
+                                    Ok(stream) => spawn_peer(
+                                        stream,
+                                        state.clone(),
+                                        config2.clone(),
+                                        shutdown.clone(),
+                                        Some(addr),
+                                    ),
+                                    Err(_) => state.lock().book_addr.mark_disconnected(addr),
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        Ok(NodeHandle { config, local_addr, state, shutdown: shutdown_tx, shutdown_rx })
+    }
+}
+
+/// Handle to a running node.
+pub struct NodeHandle {
+    config: Arc<NodeConfig>,
+    /// Bound listen address (with the resolved ephemeral port).
+    pub local_addr: SocketAddr,
+    state: Arc<Mutex<State>>,
+    shutdown: watch::Sender<bool>,
+    shutdown_rx: watch::Receiver<bool>,
+}
+
+impl NodeHandle {
+    /// This node's id.
+    pub fn node_id(&self) -> &NodeId {
+        &self.config.node_id
+    }
+
+    /// Dial a peer and start gossiping with it.
+    pub async fn connect(&self, addr: SocketAddr) -> io::Result<()> {
+        let stream = TcpStream::connect(addr).await?;
+        self.state.lock().book_addr.mark_connected(addr);
+        spawn_peer(stream, self.state.clone(), self.config.clone(), self.shutdown_rx.clone(), Some(addr));
+        Ok(())
+    }
+
+    /// Publish an application item: store, apply, and announce to peers.
+    pub fn publish(&self, item: GossipItem) {
+        let mut st = self.state.lock();
+        publish_locked(&mut st, &self.config, item);
+    }
+
+    /// Number of gossip items held.
+    pub fn item_count(&self) -> usize {
+        self.state.lock().gossip.len()
+    }
+
+    /// Number of live peer connections.
+    pub fn peer_count(&self) -> usize {
+        self.state.lock().peers.iter().filter(|p| !p.tx.is_closed()).count()
+    }
+
+    /// Digest of the confirmed-receipt set (equal across converged nodes).
+    pub fn ledger_digest(&self) -> String {
+        self.state.lock().ledger.confirmed_digest()
+    }
+
+    /// Number of confirmed receipts.
+    pub fn confirmed_count(&self) -> usize {
+        self.state.lock().ledger.confirmed_ids().len()
+    }
+
+    /// Reward balances minted by confirmed receipts.
+    pub fn reward_balances(&self) -> BTreeMap<String, f64> {
+        self.state.lock().ledger.reward_balances()
+    }
+
+    /// Trades executed by the local replica of the market.
+    pub fn trades(&self) -> Vec<Trade> {
+        self.state.lock().book.trades().to_vec()
+    }
+
+    /// Net market settlement per party.
+    pub fn market_settlement(&self) -> BTreeMap<String, f64> {
+        self.state.lock().book.settlement()
+    }
+
+    /// Withdrawal notices seen (signature-verified).
+    pub fn withdrawals(&self) -> Vec<WithdrawalNotice> {
+        self.state.lock().withdrawals.clone()
+    }
+
+    /// Items rejected by verification (bad signature / failed physics).
+    pub fn rejected_count(&self) -> u64 {
+        self.state.lock().rejected
+    }
+
+    /// Number of peer addresses learned via handshake / peer exchange.
+    pub fn known_peer_addrs(&self) -> usize {
+        self.state.lock().book_addr.known_count()
+    }
+
+    /// State of a control proposal, if this node runs a control group and
+    /// has seen the proposal.
+    pub fn control_state(&self, proposal_id: u64) -> Option<mpleo::control::ProposalState> {
+        self.state.lock().control.as_ref().and_then(|c| c.state(proposal_id))
+    }
+
+    /// Digest of the executed control-command log (compare across nodes).
+    pub fn control_log_digest(&self) -> Option<u64> {
+        self.state.lock().control.as_ref().map(|c| c.group.log_digest())
+    }
+
+    /// Signal all tasks to stop. Idempotent.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown.send(true);
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown.send(true);
+    }
+}
+
+fn spawn_peer(
+    stream: TcpStream,
+    state: Arc<Mutex<State>>,
+    config: Arc<NodeConfig>,
+    mut shutdown: watch::Receiver<bool>,
+    dialed_addr: Option<SocketAddr>,
+) {
+    let (mut reader, mut writer) = stream.into_split();
+    let (tx, mut rx) = mpsc::unbounded_channel::<Message>();
+
+    // Register the peer slot and queue the handshake + initial announce.
+    {
+        let mut st = state.lock();
+        let _ = tx.send(Message::Hello {
+            node_id: config.node_id.clone(),
+            listen_addr: config.advertise.then(|| config.listen.to_string()),
+        });
+        if let Some(announce) = st.gossip.anti_entropy_announce() {
+            let _ = tx.send(announce);
+        }
+        st.peers.push(PeerSlot { id: None, tx: tx.clone(), silent_ticks: 0 });
+    }
+
+    // Writer task.
+    {
+        let mut shutdown = shutdown.clone();
+        tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    _ = shutdown.changed() => break,
+                    msg = rx.recv() => {
+                        let Some(msg) = msg else { break };
+                        if write_frame(&mut writer, &msg).await.is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // Reader task.
+    tokio::spawn(async move {
+        let mut buf = BytesMut::new();
+        loop {
+            tokio::select! {
+                _ = shutdown.changed() => break,
+                frame = read_frame(&mut reader, &mut buf) => {
+                    match frame {
+                        Ok(Some(msg)) => {
+                            let mut st = state.lock();
+                            dispatch(&mut st, &config, &tx, msg);
+                        }
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+            }
+        }
+        // Connection gone: drop our sender so the slot reads as closed.
+        let mut st = state.lock();
+        st.peers.retain(|p| !p.tx.same_channel(&tx));
+        if let Some(addr) = dialed_addr {
+            st.book_addr.mark_disconnected(addr);
+        }
+    });
+}
+
+/// Handle one inbound message. Runs under the state lock; must not await.
+fn dispatch(st: &mut State, config: &NodeConfig, from: &mpsc::UnboundedSender<Message>, msg: Message) {
+    if let Some(slot) = st.peers.iter_mut().find(|p| p.tx.same_channel(from)) {
+        slot.silent_ticks = 0;
+    }
+    match msg {
+        Message::Hello { node_id, listen_addr } => {
+            if let Some(slot) = st.peers.iter_mut().find(|p| p.tx.same_channel(from)) {
+                slot.id = Some(node_id);
+            }
+            if let Some(addr) = listen_addr.and_then(|a| a.parse().ok()) {
+                st.book_addr.learn([addr]);
+            }
+        }
+        Message::Ping { nonce } => {
+            let _ = from.send(Message::Pong { nonce });
+        }
+        Message::Pong { .. } => {}
+        Message::PeerExchange { addrs } => {
+            st.book_addr.learn(addrs.iter().filter_map(|a| a.parse().ok()));
+        }
+        Message::GossipAnnounce { ids } => {
+            if let Some(req) = st.gossip.on_announce(&ids) {
+                let _ = from.send(req);
+            }
+        }
+        Message::GossipRequest { ids } => {
+            if let Some(payload) = st.gossip.on_request(&ids) {
+                let _ = from.send(payload);
+            }
+        }
+        Message::GossipPayload { items } => {
+            let fresh = st.gossip.on_payload(items);
+            if fresh.is_empty() {
+                return;
+            }
+            let ids: Vec<String> = fresh.iter().map(|(id, _)| id.clone()).collect();
+            for (id, item) in fresh {
+                apply_item(st, config, &id, &item);
+            }
+            // Re-announce the new items to every other peer.
+            let announce = Message::GossipAnnounce { ids };
+            for p in &st.peers {
+                if !p.tx.same_channel(from) {
+                    let _ = p.tx.send(announce.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Publish a locally originated item under the lock.
+fn publish_locked(st: &mut State, config: &NodeConfig, item: GossipItem) {
+    let Some(id) = st.gossip.insert(item.clone()) else {
+        return; // duplicate
+    };
+    apply_item(st, config, &id, &item);
+    let announce = Message::GossipAnnounce { ids: vec![id] };
+    for p in &st.peers {
+        let _ = p.tx.send(announce.clone());
+    }
+}
+
+/// Apply a freshly learned item to the application state (ledger / book /
+/// withdrawal log), with verification.
+fn apply_item(st: &mut State, config: &NodeConfig, id: &str, item: &GossipItem) {
+    match item {
+        GossipItem::Receipt(receipt) => {
+            st.ledger.insert_receipt(id.to_string(), receipt.clone());
+            if config.auto_attest {
+                if let Some(scenario) = &config.scenario {
+                    let valid = verify_receipt(receipt, scenario, &config.keys).is_ok();
+                    if let Some(att) =
+                        Attestation::create(&config.keys, id, &config.node_id.0, valid)
+                    {
+                        publish_locked(st, config, GossipItem::Attestation(att));
+                    }
+                }
+            }
+        }
+        GossipItem::Attestation(att) => {
+            if verify_attestation(att, &config.keys) {
+                st.ledger.insert_attestation(att);
+            } else {
+                st.rejected += 1;
+            }
+        }
+        GossipItem::Order(order) => {
+            if verify_order(&config.keys, order) {
+                st.book.submit(order.clone());
+            } else {
+                st.rejected += 1;
+            }
+        }
+        GossipItem::Withdrawal(notice) => {
+            let bytes = WithdrawalNotice::signing_bytes(&notice.party, &notice.sat_ids, notice.effective_s);
+            if config.keys.verify(&notice.party, &bytes, &notice.signature) {
+                st.withdrawals.push(notice.clone());
+            } else {
+                st.rejected += 1;
+            }
+        }
+        GossipItem::Control(event) => {
+            if !event.verify(&config.keys) {
+                st.rejected += 1;
+            } else if let Some(control) = st.control.as_mut() {
+                control.apply(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::make_order;
+    use crate::poc::CoverageReceipt;
+
+    fn keys() -> KeyDirectory {
+        let mut k = KeyDirectory::new();
+        for p in ["n1", "n2", "n3", "owner", "gs"] {
+            k.register_derived(p, b"net-seed");
+        }
+        k
+    }
+
+    async fn converged(nodes: &[&NodeHandle], items: usize, timeout_ms: u64) -> bool {
+        for _ in 0..(timeout_ms / 10) {
+            if nodes.iter().all(|n| n.item_count() >= items) {
+                return true;
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        false
+    }
+
+    #[tokio::test]
+    async fn two_nodes_gossip_an_item() {
+        let a = Node::start(NodeConfig::local("n1", keys())).await.unwrap();
+        let b = Node::start(NodeConfig::local("n2", keys())).await.unwrap();
+        b.connect(a.local_addr).await.unwrap();
+
+        let receipt = CoverageReceipt::create(&keys(), 1, "gs", "owner", 10.0, 50.0).unwrap();
+        a.publish(GossipItem::Receipt(receipt));
+        assert!(converged(&[&a, &b], 1, 2000).await, "item did not propagate");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[tokio::test]
+    async fn line_topology_floods() {
+        // n1 - n2 - n3: items published at n1 must reach n3 through n2.
+        let n1 = Node::start(NodeConfig::local("n1", keys())).await.unwrap();
+        let n2 = Node::start(NodeConfig::local("n2", keys())).await.unwrap();
+        let n3 = Node::start(NodeConfig::local("n3", keys())).await.unwrap();
+        n2.connect(n1.local_addr).await.unwrap();
+        n3.connect(n2.local_addr).await.unwrap();
+
+        for seq in 0..5 {
+            let order = make_order(&keys(), "n1", seq % 2 == 0, 1.0 + seq as f64, 10, seq).unwrap();
+            n1.publish(GossipItem::Order(order));
+        }
+        assert!(converged(&[&n1, &n2, &n3], 5, 3000).await, "flood incomplete");
+        for n in [&n1, &n2, &n3] {
+            n.shutdown();
+        }
+    }
+
+    #[tokio::test]
+    async fn late_joiner_syncs_via_anti_entropy() {
+        let a = Node::start(NodeConfig::local("n1", keys())).await.unwrap();
+        let order = make_order(&keys(), "n1", true, 2.0, 5, 0).unwrap();
+        a.publish(GossipItem::Order(order));
+
+        // b joins after the item exists.
+        let b = Node::start(NodeConfig::local("n2", keys())).await.unwrap();
+        b.connect(a.local_addr).await.unwrap();
+        assert!(converged(&[&b], 1, 2000).await, "late joiner did not sync");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[tokio::test]
+    async fn bad_signature_rejected_but_gossiped() {
+        let a = Node::start(NodeConfig::local("n1", keys())).await.unwrap();
+        let b = Node::start(NodeConfig::local("n2", keys())).await.unwrap();
+        b.connect(a.local_addr).await.unwrap();
+
+        let mut order = make_order(&keys(), "n1", true, 2.0, 5, 0).unwrap();
+        order.signature = "00".repeat(32);
+        a.publish(GossipItem::Order(order));
+        assert!(converged(&[&a, &b], 1, 2000).await);
+        assert_eq!(a.trades().len(), 0);
+        assert_eq!(a.rejected_count(), 1);
+        assert_eq!(b.rejected_count(), 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[tokio::test]
+    async fn replicated_market_converges() {
+        let a = Node::start(NodeConfig::local("n1", keys())).await.unwrap();
+        let b = Node::start(NodeConfig::local("n2", keys())).await.unwrap();
+        b.connect(a.local_addr).await.unwrap();
+        // Let the mesh settle so both replicas see orders in gossip order.
+        tokio::time::sleep(Duration::from_millis(50)).await;
+
+        let ask = make_order(&keys(), "n1", false, 1.0, 10, 0).unwrap();
+        a.publish(GossipItem::Order(ask));
+        assert!(converged(&[&a, &b], 1, 2000).await);
+        let bid = make_order(&keys(), "n2", true, 1.5, 4, 0).unwrap();
+        b.publish(GossipItem::Order(bid));
+        assert!(converged(&[&a, &b], 2, 2000).await);
+
+        // Both replicas executed the same trade.
+        for _ in 0..100 {
+            if !a.trades().is_empty() && !b.trades().is_empty() {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert_eq!(a.trades(), b.trades());
+        assert_eq!(a.trades().len(), 1);
+        assert_eq!(a.trades()[0].quantity, 4);
+        let s = a.market_settlement();
+        assert!((s.values().sum::<f64>()).abs() < 1e-9);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[tokio::test]
+    async fn peer_exchange_self_assembles_mesh() {
+        // a <- b, a <- c: with PEX enabled, b and c discover each other
+        // through a and dial directly, densifying the mesh.
+        let mk = |id: &str| {
+            let mut cfg = NodeConfig::local(id, keys());
+            cfg.advertise = true;
+            cfg.target_degree = 3;
+            cfg.anti_entropy = Duration::from_millis(50);
+            cfg
+        };
+        let a = Node::start(mk("n1")).await.unwrap();
+        let b = Node::start(mk("n2")).await.unwrap();
+        let c = Node::start(mk("n3")).await.unwrap();
+        b.connect(a.local_addr).await.unwrap();
+        c.connect(a.local_addr).await.unwrap();
+
+        // Everyone learns both other addresses via handshake + PEX.
+        let mut ok = false;
+        for _ in 0..200 {
+            if [&a, &b, &c].iter().all(|n| n.known_peer_addrs() >= 2) {
+                ok = true;
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert!(
+            ok,
+            "peer exchange did not spread addresses: {} {} {}",
+            a.known_peer_addrs(),
+            b.known_peer_addrs(),
+            c.known_peer_addrs()
+        );
+
+        // The dial loop raises everyone's degree beyond the initial link.
+        let mut meshed = false;
+        for _ in 0..200 {
+            if b.peer_count() >= 2 && c.peer_count() >= 2 {
+                meshed = true;
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert!(
+            meshed,
+            "PEX dialing did not densify the mesh: b={} c={}",
+            b.peer_count(),
+            c.peer_count()
+        );
+
+        let order = make_order(&keys(), "n2", true, 1.0, 1, 0).unwrap();
+        b.publish(GossipItem::Order(order));
+        assert!(converged(&[&a, &b, &c], 1, 3000).await);
+        for n in [&a, &b, &c] {
+            n.shutdown();
+        }
+    }
+
+    #[tokio::test]
+    async fn shutdown_stops_node() {
+        let a = Node::start(NodeConfig::local("n1", keys())).await.unwrap();
+        let addr = a.local_addr;
+        a.shutdown();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        // New connections are no longer serviced with a handshake; dialing
+        // may succeed at the TCP level but the node is gone. Just assert we
+        // can call shutdown twice without panicking.
+        a.shutdown();
+        let _ = addr;
+    }
+}

@@ -1,0 +1,199 @@
+//! The frame codec: 4-byte big-endian length prefix + JSON body.
+//!
+//! JSON keeps the research prototype wire-debuggable (`tcpdump -A` shows
+//! readable frames); the codec is the single swap-point for a binary format.
+//! Frames are size-capped to bound memory under malicious peers.
+
+use crate::messages::Message;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Maximum frame body size (1 MiB). A gossip payload of ~1000 receipts fits
+/// comfortably; anything larger is a protocol violation.
+pub const MAX_FRAME_BYTES: usize = 1024 * 1024;
+
+/// Encode a message into a length-prefixed frame.
+pub fn encode(msg: &Message) -> io::Result<Vec<u8>> {
+    let body = serde_json::to_vec(msg).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body {} exceeds cap {MAX_FRAME_BYTES}", body.len()),
+        ));
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Try to decode one frame from the front of `buf`. Returns `Ok(None)` when
+/// more bytes are needed; on success the consumed bytes are removed.
+pub fn decode(buf: &mut BytesMut) -> io::Result<Option<Message>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced frame of {len} bytes"),
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let body = buf.split_to(len);
+    let msg = serde_json::from_slice(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Some(msg))
+}
+
+/// Write one frame to an async sink.
+pub async fn write_frame<W: AsyncWrite + Unpin>(w: &mut W, msg: &Message) -> io::Result<()> {
+    let frame = encode(msg)?;
+    w.write_all(&frame).await?;
+    w.flush().await
+}
+
+/// Read one frame from an async source. Returns `Ok(None)` on clean EOF at
+/// a frame boundary.
+pub async fn read_frame<R: AsyncRead + Unpin>(r: &mut R, buf: &mut BytesMut) -> io::Result<Option<Message>> {
+    loop {
+        if let Some(msg) = decode(buf)? {
+            return Ok(Some(msg));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = r.read(&mut chunk).await?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF mid-frame"));
+        }
+        buf.put_slice(&chunk[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::NodeId;
+
+    fn hello() -> Message {
+        Message::Hello { node_id: NodeId::new("n1"), listen_addr: None }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let frame = encode(&hello()).unwrap();
+        let mut buf = BytesMut::from(&frame[..]);
+        let back = decode(&mut buf).unwrap().unwrap();
+        assert_eq!(back, hello());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn decode_partial_returns_none() {
+        let frame = encode(&hello()).unwrap();
+        for cut in [0usize, 1, 3, 4, frame.len() - 1] {
+            let mut buf = BytesMut::from(&frame[..cut]);
+            assert!(decode(&mut buf).unwrap().is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_two_frames_in_sequence() {
+        let mut bytes = encode(&hello()).unwrap();
+        bytes.extend(encode(&Message::Ping { nonce: 5 }).unwrap());
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert_eq!(decode(&mut buf).unwrap().unwrap(), hello());
+        assert_eq!(decode(&mut buf).unwrap().unwrap(), Message::Ping { nonce: 5 });
+        assert!(decode(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_announcement_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes());
+        buf.put_slice(&[0u8; 8]);
+        assert!(decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn garbage_body_rejected() {
+        let body = b"not json at all";
+        let mut buf = BytesMut::new();
+        buf.put_slice(&(body.len() as u32).to_be_bytes());
+        buf.put_slice(body);
+        assert!(decode(&mut buf).is_err());
+    }
+
+    #[tokio::test]
+    async fn async_roundtrip_over_duplex() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        let msg = Message::GossipAnnounce { ids: vec!["deadbeef".into(); 10] };
+        write_frame(&mut a, &msg).await.unwrap();
+        write_frame(&mut a, &Message::Ping { nonce: 1 }).await.unwrap();
+        drop(a);
+        let mut buf = BytesMut::new();
+        assert_eq!(read_frame(&mut b, &mut buf).await.unwrap().unwrap(), msg);
+        assert_eq!(
+            read_frame(&mut b, &mut buf).await.unwrap().unwrap(),
+            Message::Ping { nonce: 1 }
+        );
+        assert!(read_frame(&mut b, &mut buf).await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn eof_mid_frame_is_error() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        let frame = encode(&hello()).unwrap();
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&frame[..frame.len() - 2]).await.unwrap();
+        drop(a);
+        let mut buf = BytesMut::new();
+        assert!(read_frame(&mut b, &mut buf).await.is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes must never panic the decoder — peers are
+        /// untrusted.
+        #[test]
+        fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let mut buf = BytesMut::from(&data[..]);
+            // Drain until error or need-more-bytes; the loop must terminate.
+            for _ in 0..64 {
+                match decode(&mut buf) {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+
+        /// Any message that encodes must decode to itself, even when the
+        /// frame is delivered in arbitrary chunk sizes.
+        #[test]
+        fn chunked_delivery_reassembles(nonce in any::<u64>(), cut in 1usize..64) {
+            let msg = Message::Ping { nonce };
+            let frame = encode(&msg).unwrap();
+            let mut buf = BytesMut::new();
+            let mut decoded = None;
+            for chunk in frame.chunks(cut) {
+                buf.extend_from_slice(chunk);
+                if let Some(m) = decode(&mut buf).unwrap() {
+                    decoded = Some(m);
+                }
+            }
+            prop_assert_eq!(decoded, Some(msg));
+        }
+    }
+}

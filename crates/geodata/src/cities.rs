@@ -1,0 +1,158 @@
+//! The embedded city dataset.
+//!
+//! Selection rule (verbatim from the paper, §2): "the top 20 most populated
+//! cities, limited to one per country. We add Melbourne, Australia, to
+//! ensure representation from all major continents." Populations are UN
+//! 2024 urban-agglomeration estimates in millions; coordinates are the
+//! conventional city-center values.
+
+use orbital::frames::Geodetic;
+use orbital::ground::GroundSite;
+use serde::{Deserialize, Serialize};
+
+/// A city with its population weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct City {
+    /// City name.
+    pub name: &'static str,
+    /// ISO-3166 alpha-2 country code (one city per country by construction).
+    pub country: &'static str,
+    /// Latitude, degrees north.
+    pub lat_deg: f64,
+    /// Longitude, degrees east.
+    pub lon_deg: f64,
+    /// Urban agglomeration population, millions.
+    pub population_m: f64,
+}
+
+impl City {
+    /// The city center as a ground site at sea level.
+    pub fn site(&self) -> GroundSite {
+        GroundSite::new(self.name, Geodetic::from_degrees(self.lat_deg, self.lon_deg, 0.0))
+    }
+}
+
+/// Number of cities in the paper's terminal set (20 + Melbourne).
+pub const PAPER_CITY_COUNT: usize = 21;
+
+/// The dataset, ordered by population (descending), Melbourne appended
+/// last per the paper's construction.
+const CITIES: &[City] = &[
+    City { name: "Tokyo", country: "JP", lat_deg: 35.6895, lon_deg: 139.6917, population_m: 37.1 },
+    City { name: "Delhi", country: "IN", lat_deg: 28.6139, lon_deg: 77.2090, population_m: 33.8 },
+    City { name: "Shanghai", country: "CN", lat_deg: 31.2304, lon_deg: 121.4737, population_m: 29.9 },
+    City { name: "Dhaka", country: "BD", lat_deg: 23.8103, lon_deg: 90.4125, population_m: 23.9 },
+    City { name: "Sao Paulo", country: "BR", lat_deg: -23.5505, lon_deg: -46.6333, population_m: 22.8 },
+    City { name: "Cairo", country: "EG", lat_deg: 30.0444, lon_deg: 31.2357, population_m: 22.6 },
+    City { name: "Mexico City", country: "MX", lat_deg: 19.4326, lon_deg: -99.1332, population_m: 22.5 },
+    City { name: "New York", country: "US", lat_deg: 40.7128, lon_deg: -74.0060, population_m: 18.9 },
+    City { name: "Karachi", country: "PK", lat_deg: 24.8607, lon_deg: 67.0011, population_m: 17.8 },
+    City { name: "Kinshasa", country: "CD", lat_deg: -4.4419, lon_deg: 15.2663, population_m: 17.0 },
+    City { name: "Lagos", country: "NG", lat_deg: 6.5244, lon_deg: 3.3792, population_m: 16.5 },
+    City { name: "Istanbul", country: "TR", lat_deg: 41.0082, lon_deg: 28.9784, population_m: 16.0 },
+    City { name: "Buenos Aires", country: "AR", lat_deg: -34.6037, lon_deg: -58.3816, population_m: 15.6 },
+    City { name: "Manila", country: "PH", lat_deg: 14.5995, lon_deg: 120.9842, population_m: 15.2 },
+    City { name: "Moscow", country: "RU", lat_deg: 55.7558, lon_deg: 37.6173, population_m: 12.7 },
+    City { name: "Bogota", country: "CO", lat_deg: 4.7110, lon_deg: -74.0721, population_m: 11.6 },
+    City { name: "Paris", country: "FR", lat_deg: 48.8566, lon_deg: 2.3522, population_m: 11.3 },
+    City { name: "Bangkok", country: "TH", lat_deg: 13.7563, lon_deg: 100.5018, population_m: 11.2 },
+    City { name: "Lima", country: "PE", lat_deg: -12.0464, lon_deg: -77.0428, population_m: 11.2 },
+    City { name: "Seoul", country: "KR", lat_deg: 37.5665, lon_deg: 126.9780, population_m: 10.0 },
+    City { name: "Melbourne", country: "AU", lat_deg: -37.8136, lon_deg: 144.9631, population_m: 5.2 },
+];
+
+/// The paper's full 21-city terminal set.
+pub fn paper_cities() -> Vec<City> {
+    CITIES.to_vec()
+}
+
+/// The first `n` cities of the paper's ordering (population-descending;
+/// Melbourne is index 20). Used by the Fig. 3 idle-time sweep, which grows
+/// the served set from 1 to 21 cities.
+pub fn top_cities(n: usize) -> Vec<City> {
+    assert!(n >= 1 && n <= CITIES.len(), "n must be in 1..={}", CITIES.len());
+    CITIES[..n].to_vec()
+}
+
+/// Look up a city by (case-insensitive) name.
+pub fn city_by_name(name: &str) -> Option<City> {
+    CITIES.iter().find(|c| c.name.eq_ignore_ascii_case(name)).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn count_matches_paper() {
+        assert_eq!(paper_cities().len(), PAPER_CITY_COUNT);
+    }
+
+    #[test]
+    fn one_city_per_country() {
+        let countries: HashSet<&str> = CITIES.iter().map(|c| c.country).collect();
+        assert_eq!(countries.len(), CITIES.len());
+    }
+
+    #[test]
+    fn ordered_by_population_with_melbourne_last() {
+        for w in CITIES[..CITIES.len() - 1].windows(2) {
+            assert!(w[0].population_m >= w[1].population_m, "{} < {}", w[0].name, w[1].name);
+        }
+        assert_eq!(CITIES.last().unwrap().name, "Melbourne");
+    }
+
+    #[test]
+    fn all_continents_represented() {
+        // Crude continent assignment by country code.
+        let continent = |cc: &str| match cc {
+            "JP" | "IN" | "CN" | "BD" | "PK" | "PH" | "TH" | "KR" => "Asia",
+            "EG" | "CD" | "NG" => "Africa",
+            "US" | "MX" => "NorthAmerica",
+            "BR" | "AR" | "CO" | "PE" => "SouthAmerica",
+            "TR" | "RU" | "FR" => "Europe",
+            "AU" => "Oceania",
+            other => panic!("unmapped country {other}"),
+        };
+        let continents: HashSet<&str> = CITIES.iter().map(|c| continent(c.country)).collect();
+        assert_eq!(continents.len(), 6);
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        for c in CITIES {
+            assert!(c.lat_deg.abs() <= 60.0, "{} latitude extreme", c.name);
+            assert!(c.lon_deg.abs() <= 180.0);
+            assert!(c.population_m > 1.0);
+        }
+    }
+
+    #[test]
+    fn top_cities_prefix() {
+        assert_eq!(top_cities(1)[0].name, "Tokyo");
+        assert_eq!(top_cities(5).len(), 5);
+        assert_eq!(top_cities(21).last().unwrap().name, "Melbourne");
+    }
+
+    #[test]
+    #[should_panic]
+    fn top_cities_zero_panics() {
+        top_cities(0);
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        assert_eq!(city_by_name("tokyo").unwrap().name, "Tokyo");
+        assert_eq!(city_by_name("SEOUL").unwrap().country, "KR");
+        assert!(city_by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn sites_have_unit_zenith() {
+        for c in CITIES {
+            let s = c.site();
+            assert!((s.zenith.norm() - 1.0).abs() < 1e-12, "{}", c.name);
+        }
+    }
+}

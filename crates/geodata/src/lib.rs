@@ -1,0 +1,82 @@
+//! # geodata — embedded geographic dataset for MP-LEO experiments
+//!
+//! The paper's experiments (§2, §3.2) place user terminals at "the top 20
+//! most populated cities, limited to one per country", plus Melbourne for
+//! Australian-continent representation, and a receiver in Taipei for the
+//! Taiwan case study. This crate embeds that dataset (UN 2024 urban
+//! agglomeration estimates) and provides population weighting, named
+//! regions, and conversion into [`orbital::ground::GroundSite`]s.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cities;
+pub mod region;
+
+pub use cities::{city_by_name, paper_cities, top_cities, City, PAPER_CITY_COUNT};
+pub use region::Region;
+
+use orbital::frames::Geodetic;
+use orbital::ground::GroundSite;
+
+/// The Taipei receiver location used in the paper's Fig. 2 experiment
+/// ("a receiver at a central location in Taipei, Taiwan").
+pub fn taipei() -> GroundSite {
+    GroundSite::new("Taipei", Geodetic::from_degrees(25.033, 121.565, 0.01))
+}
+
+/// Population-share weights for a set of cities (sums to 1.0).
+///
+/// These are the weights of the paper's "population weighted coverage over
+/// 21 most populous cities" metric (§3.2).
+pub fn population_weights(cities: &[City]) -> Vec<f64> {
+    let total: f64 = cities.iter().map(|c| c.population_m).sum();
+    assert!(total > 0.0, "city set must have positive total population");
+    cities.iter().map(|c| c.population_m / total).collect()
+}
+
+/// Convert cities to ground sites (terminals at the city centers).
+pub fn to_sites(cities: &[City]) -> Vec<GroundSite> {
+    cities.iter().map(City::site).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taipei_location() {
+        let t = taipei();
+        assert!((t.geodetic.latitude_deg() - 25.033).abs() < 1e-9);
+        assert!((t.geodetic.longitude_deg() - 121.565).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let cities = paper_cities();
+        let w = population_weights(&cities);
+        assert_eq!(w.len(), cities.len());
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn tokyo_heaviest() {
+        let cities = paper_cities();
+        let w = population_weights(&cities);
+        let (imax, _) = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(cities[imax].name, "Tokyo");
+    }
+
+    #[test]
+    fn sites_match_cities() {
+        let cities = paper_cities();
+        let sites = to_sites(&cities);
+        assert_eq!(sites.len(), cities.len());
+        assert_eq!(sites[0].name, cities[0].name);
+    }
+}

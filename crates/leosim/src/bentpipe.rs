@@ -1,0 +1,234 @@
+//! Transparent bent-pipe connectivity (the paper's §3.1 architecture) and
+//! the ISL-relay variant for the §4 ablation.
+//!
+//! In a transparent bent pipe the satellite is a dumb RF repeater: a user
+//! terminal is *connected* at a step only if some satellite simultaneously
+//! sees both the terminal and one of the operator's ground stations. No
+//! inter-satellite links, no on-board processing.
+//!
+//! The ISL variant relaxes the joint-visibility requirement: a terminal is
+//! connected if some satellite sees it and that satellite can reach, via up
+//! to `max_hops` satellite-to-satellite hops, a satellite that sees a ground
+//! station. ISL reachability uses a range-limited proximity graph evaluated
+//! per step.
+
+use crate::bitset::TimeBitset;
+use crate::timegrid::TimeGrid;
+use crate::visibility::{SimConfig, VisibilityTable};
+use orbital::constellation::Satellite;
+use orbital::frames::eci_to_ecef;
+use orbital::ground::GroundSite;
+use orbital::propagator::{KeplerJ2, Propagator};
+use serde::{Deserialize, Serialize};
+
+/// Result of a bent-pipe connectivity computation for one terminal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TerminalConnectivity {
+    /// Terminal (site) name.
+    pub terminal: String,
+    /// Steps where the terminal has an end-to-end bent-pipe path.
+    pub connected: TimeBitset,
+}
+
+/// Compute bent-pipe connectivity for each terminal: at a step, terminal `t`
+/// is connected iff there exists a satellite `s` with
+/// `visible(s, t) && visible(s, g)` for some ground station `g`.
+///
+/// `vt_terminals` and `vt_ground` must share the same satellite order and
+/// time grid (compute them from the same satellite slice).
+pub fn bentpipe_connectivity(
+    vt_terminals: &VisibilityTable,
+    vt_ground: &VisibilityTable,
+) -> Vec<TerminalConnectivity> {
+    assert_eq!(vt_terminals.sat_count(), vt_ground.sat_count(), "satellite sets differ");
+    assert_eq!(vt_terminals.grid.steps, vt_ground.grid.steps, "grids differ");
+    let steps = vt_terminals.grid.steps;
+    let gs_indices: Vec<usize> = (0..vt_ground.site_count()).collect();
+    // Per satellite: steps where it can reach any ground station.
+    let sat_to_ground: Vec<TimeBitset> = (0..vt_ground.sat_count())
+        .map(|s| vt_ground.visible_to_any(s, &gs_indices))
+        .collect();
+    (0..vt_terminals.site_count())
+        .map(|t| {
+            let mut connected = TimeBitset::zeros(steps);
+            for (s, stg) in sat_to_ground.iter().enumerate() {
+                let mut link = vt_terminals.bitset(s, t).clone();
+                link.intersect_assign(stg);
+                connected.union_assign(&link);
+            }
+            TerminalConnectivity {
+                terminal: vt_terminals.site_names[t].clone(),
+                connected,
+            }
+        })
+        .collect()
+}
+
+/// ISL-relay connectivity: a terminal is connected at a step iff some
+/// satellite sees it whose ISL-connected component (edges between satellites
+/// closer than `isl_range_km`, up to `max_hops` hops) contains a satellite
+/// that sees a ground station.
+pub fn isl_connectivity(
+    sats: &[Satellite],
+    terminals: &[GroundSite],
+    ground_stations: &[GroundSite],
+    grid: &TimeGrid,
+    config: &SimConfig,
+    isl_range_km: f64,
+    max_hops: usize,
+) -> Vec<TerminalConnectivity> {
+    let vt_term = VisibilityTable::compute(sats, terminals, grid, config);
+    let vt_gs = VisibilityTable::compute(sats, ground_stations, grid, config);
+    let props: Vec<KeplerJ2> = sats
+        .iter()
+        .map(|s| KeplerJ2::from_elements(&s.elements, s.epoch))
+        .collect();
+    let gs_indices: Vec<usize> = (0..ground_stations.len()).collect();
+    let sat_to_ground: Vec<TimeBitset> =
+        (0..sats.len()).map(|s| vt_gs.visible_to_any(s, &gs_indices)).collect();
+
+    let mut result: Vec<TerminalConnectivity> = terminals
+        .iter()
+        .map(|t| TerminalConnectivity {
+            terminal: t.name.clone(),
+            connected: TimeBitset::zeros(grid.steps),
+        })
+        .collect();
+
+    let mut positions = vec![orbital::Vec3::ZERO; sats.len()];
+    for k in 0..grid.steps {
+        let t = grid.epoch_at(k);
+        let gmst = grid.gmst_at(k);
+        for (i, p) in props.iter().enumerate() {
+            positions[i] = eci_to_ecef(p.position_at(t), gmst);
+        }
+        // BFS from the set of ground-connected satellites, up to max_hops.
+        let mut reach: Vec<bool> = (0..sats.len()).map(|s| sat_to_ground[s].get(k)).collect();
+        let mut frontier: Vec<usize> = reach
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| r.then_some(i))
+            .collect();
+        for _hop in 0..max_hops {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for &f in &frontier {
+                for s in 0..sats.len() {
+                    if !reach[s] && positions[f].distance(positions[s]) <= isl_range_km {
+                        reach[s] = true;
+                        next.push(s);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for (ti, out) in result.iter_mut().enumerate() {
+            let connected = (0..sats.len()).any(|s| reach[s] && vt_term.bitset(s, ti).get(k));
+            if connected {
+                out.connected.set(k);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbital::constellation::{single_plane, walker_delta, ShellSpec};
+    use orbital::time::Epoch;
+
+    fn epoch() -> Epoch {
+        Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+    }
+
+    #[test]
+    fn colocated_gs_equals_plain_visibility() {
+        // If the ground station sits next to the terminal, bent-pipe
+        // connectivity equals plain satellite visibility.
+        let sats = single_plane(6, 550.0, 53.0, epoch());
+        let term = [GroundSite::from_degrees("T", 25.0, 121.5)];
+        let gs = [GroundSite::from_degrees("G", 25.0, 121.5)];
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let cfg = SimConfig::default();
+        let vt_t = VisibilityTable::compute(&sats, &term, &grid, &cfg);
+        let vt_g = VisibilityTable::compute(&sats, &gs, &grid, &cfg);
+        let conn = bentpipe_connectivity(&vt_t, &vt_g);
+        let idx: Vec<usize> = (0..sats.len()).collect();
+        let plain = vt_t.coverage_unions(&idx).remove(0);
+        assert_eq!(conn[0].connected, plain);
+    }
+
+    #[test]
+    fn distant_gs_reduces_connectivity() {
+        // Ground station on the other side of the world: joint visibility is
+        // impossible, so bent-pipe connectivity is empty.
+        let sats = single_plane(6, 550.0, 53.0, epoch());
+        let term = [GroundSite::from_degrees("T", 25.0, 121.5)];
+        let gs = [GroundSite::from_degrees("G", -25.0, -58.5)];
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let cfg = SimConfig::default();
+        let vt_t = VisibilityTable::compute(&sats, &term, &grid, &cfg);
+        let vt_g = VisibilityTable::compute(&sats, &gs, &grid, &cfg);
+        let conn = bentpipe_connectivity(&vt_t, &vt_g);
+        assert_eq!(conn[0].connected.count_ones(), 0);
+    }
+
+    #[test]
+    fn nearby_gs_subset_of_visibility() {
+        let sats = single_plane(8, 550.0, 53.0, epoch());
+        let term = [GroundSite::from_degrees("T", 25.0, 121.5)];
+        let gs = [GroundSite::from_degrees("G", 31.2, 121.5)]; // ~700 km away
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let cfg = SimConfig::default();
+        let vt_t = VisibilityTable::compute(&sats, &term, &grid, &cfg);
+        let vt_g = VisibilityTable::compute(&sats, &gs, &grid, &cfg);
+        let conn = bentpipe_connectivity(&vt_t, &vt_g);
+        let idx: Vec<usize> = (0..sats.len()).collect();
+        let plain = vt_t.coverage_unions(&idx).remove(0);
+        // Connectivity <= visibility, pointwise.
+        assert_eq!(conn[0].connected.intersection_count(&plain), conn[0].connected.count_ones());
+    }
+
+    #[test]
+    fn isl_superset_of_bentpipe() {
+        // With ISLs (generous range), connectivity can only grow relative to
+        // the bent pipe.
+        let spec = ShellSpec {
+            planes: 6,
+            sats_per_plane: 8,
+            ..ShellSpec::starlink_like()
+        };
+        let sats = walker_delta(&spec, epoch());
+        let term = [GroundSite::from_degrees("T", 25.0, 121.5)];
+        let gs = [GroundSite::from_degrees("G", 40.7, -74.0)];
+        let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 120.0);
+        let cfg = SimConfig::default();
+        let vt_t = VisibilityTable::compute(&sats, &term, &grid, &cfg);
+        let vt_g = VisibilityTable::compute(&sats, &gs, &grid, &cfg);
+        let bp = bentpipe_connectivity(&vt_t, &vt_g);
+        let isl = isl_connectivity(&sats, &term, &gs, &grid, &cfg, 5000.0, 8);
+        // Pointwise superset.
+        assert_eq!(
+            isl[0].connected.intersection_count(&bp[0].connected),
+            bp[0].connected.count_ones()
+        );
+        assert!(isl[0].connected.count_ones() >= bp[0].connected.count_ones());
+    }
+
+    #[test]
+    fn isl_zero_hops_equals_bentpipe() {
+        let sats = single_plane(6, 550.0, 53.0, epoch());
+        let term = [GroundSite::from_degrees("T", 25.0, 121.5)];
+        let gs = [GroundSite::from_degrees("G", 30.0, 115.0)];
+        let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 120.0);
+        let cfg = SimConfig::default();
+        let vt_t = VisibilityTable::compute(&sats, &term, &grid, &cfg);
+        let vt_g = VisibilityTable::compute(&sats, &gs, &grid, &cfg);
+        let bp = bentpipe_connectivity(&vt_t, &vt_g);
+        let isl0 = isl_connectivity(&sats, &term, &gs, &grid, &cfg, 5000.0, 0);
+        assert_eq!(bp[0].connected, isl0[0].connected);
+    }
+}

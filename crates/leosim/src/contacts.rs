@@ -1,0 +1,275 @@
+//! Contact plans: the interval view of visibility.
+//!
+//! Bitsets answer "is anyone visible at step k"; schedulers, DTN routers,
+//! and ground-station operators instead want the *contact list* — who can
+//! talk to whom, from when to when. This module extracts sorted contact
+//! windows from a [`VisibilityTable`] and provides the queries the
+//! scheduling layers need.
+
+use crate::visibility::VisibilityTable;
+use orbital::time::Epoch;
+use serde::{Deserialize, Serialize};
+
+/// One visibility window between a satellite and a site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contact {
+    /// Satellite index (table order).
+    pub sat: usize,
+    /// Site index (table order).
+    pub site: usize,
+    /// First step of the window.
+    pub start_step: usize,
+    /// One past the last step.
+    pub end_step: usize,
+}
+
+impl Contact {
+    /// Window length in steps.
+    pub fn len_steps(&self) -> usize {
+        self.end_step - self.start_step
+    }
+}
+
+/// A sorted list of contacts over one grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContactPlan {
+    /// Contacts sorted by `(start_step, sat, site)`.
+    pub contacts: Vec<Contact>,
+    /// Grid step seconds (for duration conversions).
+    pub step_s: f64,
+    /// Grid start epoch.
+    pub start: Epoch,
+}
+
+impl ContactPlan {
+    /// Extract every (satellite, site) window from a visibility table.
+    pub fn from_table(vt: &VisibilityTable) -> ContactPlan {
+        let mut contacts = Vec::new();
+        for sat in 0..vt.sat_count() {
+            for site in 0..vt.site_count() {
+                for run in vt.bitset(sat, site).runs_of_ones() {
+                    contacts.push(Contact { sat, site, start_step: run.start, end_step: run.end });
+                }
+            }
+        }
+        contacts.sort_by_key(|c| (c.start_step, c.sat, c.site));
+        ContactPlan { contacts, step_s: vt.grid.step_s, start: vt.grid.start }
+    }
+
+    /// Number of contacts.
+    pub fn len(&self) -> usize {
+        self.contacts.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contacts.is_empty()
+    }
+
+    /// Contacts of one site, in time order.
+    pub fn for_site(&self, site: usize) -> Vec<&Contact> {
+        self.contacts.iter().filter(|c| c.site == site).collect()
+    }
+
+    /// Contacts of one satellite, in time order.
+    pub fn for_sat(&self, sat: usize) -> Vec<&Contact> {
+        self.contacts.iter().filter(|c| c.sat == sat).collect()
+    }
+
+    /// The next contact for `site` starting at or after `step`.
+    pub fn next_contact(&self, site: usize, step: usize) -> Option<&Contact> {
+        self.contacts
+            .iter()
+            .filter(|c| c.site == site && c.end_step > step)
+            .min_by_key(|c| c.start_step.max(step))
+    }
+
+    /// Mean contact duration, seconds.
+    pub fn mean_duration_s(&self) -> f64 {
+        if self.contacts.is_empty() {
+            return 0.0;
+        }
+        self.contacts.iter().map(|c| c.len_steps()).sum::<usize>() as f64 * self.step_s
+            / self.contacts.len() as f64
+    }
+
+    /// Waiting time (seconds) from `step` until `site` has a contact
+    /// (0 when inside one); `None` when no further contact exists.
+    pub fn wait_s(&self, site: usize, step: usize) -> Option<f64> {
+        let c = self.next_contact(site, step)?;
+        Some(if c.start_step <= step { 0.0 } else { (c.start_step - step) as f64 * self.step_s })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timegrid::TimeGrid;
+    use crate::visibility::SimConfig;
+    use orbital::constellation::single_plane;
+    use orbital::ground::GroundSite;
+
+    fn plan() -> (ContactPlan, VisibilityTable) {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let sats = single_plane(6, 550.0, 53.0, epoch);
+        let sites = [
+            GroundSite::from_degrees("Taipei", 25.03, 121.56),
+            GroundSite::from_degrees("Seoul", 37.57, 126.98),
+        ];
+        let grid = TimeGrid::new(epoch, 86_400.0, 60.0);
+        let vt = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default());
+        (ContactPlan::from_table(&vt), vt)
+    }
+
+    #[test]
+    fn contacts_match_bitsets() {
+        let (plan, vt) = plan();
+        assert!(!plan.is_empty());
+        // Total contact steps equal total set bits.
+        let total_steps: usize = plan.contacts.iter().map(|c| c.len_steps()).sum();
+        let total_bits: usize = (0..vt.sat_count())
+            .flat_map(|s| (0..vt.site_count()).map(move |g| (s, g)))
+            .map(|(s, g)| vt.bitset(s, g).count_ones())
+            .sum();
+        assert_eq!(total_steps, total_bits);
+        // Every contact's interior really is visible.
+        for c in &plan.contacts {
+            for k in c.start_step..c.end_step {
+                assert!(vt.bitset(c.sat, c.site).get(k));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_by_start() {
+        let (plan, _) = plan();
+        for w in plan.contacts.windows(2) {
+            assert!(w[0].start_step <= w[1].start_step);
+        }
+    }
+
+    #[test]
+    fn durations_are_leo_passes() {
+        let (plan, _) = plan();
+        let mean = plan.mean_duration_s();
+        assert!(mean > 60.0 && mean < 12.0 * 60.0, "mean pass {mean} s");
+    }
+
+    #[test]
+    fn next_contact_and_wait() {
+        let (plan, _) = plan();
+        let first = plan.for_site(0)[0].clone();
+        // Before the first contact: wait until it.
+        if first.start_step > 0 {
+            let w = plan.wait_s(0, 0).unwrap();
+            assert!((w - first.start_step as f64 * 60.0).abs() < 1e-9);
+        }
+        // Inside a contact: wait 0.
+        let w = plan.wait_s(0, first.start_step).unwrap();
+        assert_eq!(w, 0.0);
+        // After everything: None.
+        assert!(plan.next_contact(0, usize::MAX - 1).is_none());
+    }
+
+    #[test]
+    fn per_entity_filters_consistent() {
+        let (plan, vt) = plan();
+        let by_site: usize = (0..vt.site_count()).map(|s| plan.for_site(s).len()).sum();
+        let by_sat: usize = (0..vt.sat_count()).map(|s| plan.for_sat(s).len()).sum();
+        assert_eq!(by_site, plan.len());
+        assert_eq!(by_sat, plan.len());
+    }
+}
+
+/// Estimate the data volume (bits) deliverable over a contact, integrating
+/// the Shannon-bound rate of `leg` across the window using the actual
+/// satellite-site geometry at each step.
+///
+/// `vt` must be the table the plan was extracted from (same grid);
+/// `sat_positions` supplies the satellite's ECEF position per step (e.g.
+/// re-propagated by the caller once per satellite of interest).
+pub fn contact_volume_bits(
+    contact: &Contact,
+    site: &orbital::ground::GroundSite,
+    sat_ecef_at: impl Fn(usize) -> orbital::Vec3,
+    leg: &crate::linkbudget::RfLeg,
+    step_s: f64,
+) -> f64 {
+    let mut bits = 0.0;
+    for k in contact.start_step..contact.end_step {
+        let range = site.ecef.distance(sat_ecef_at(k));
+        bits += leg.capacity_bps(range) * step_s;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod volume_tests {
+    use super::*;
+    use crate::linkbudget::RfLeg;
+    use crate::timegrid::TimeGrid;
+    use crate::visibility::{SimConfig, VisibilityTable};
+    use orbital::constellation::single_plane;
+    use orbital::frames::eci_to_ecef;
+    use orbital::ground::GroundSite;
+    use orbital::propagator::{KeplerJ2, Propagator};
+
+    #[test]
+    fn pass_volume_is_gigabit_scale() {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let sats = single_plane(4, 550.0, 53.0, epoch);
+        let site = GroundSite::from_degrees("GS", 25.0, 121.5);
+        let grid = TimeGrid::new(epoch, 86_400.0, 30.0);
+        let vt = VisibilityTable::compute(&sats, std::slice::from_ref(&site), &grid, &SimConfig::default());
+        let plan = ContactPlan::from_table(&vt);
+        assert!(!plan.is_empty());
+        let leg = RfLeg::ku_gateway_downlink();
+        let c = &plan.contacts[0];
+        let prop = KeplerJ2::from_elements(&sats[c.sat].elements, epoch);
+        let volume = contact_volume_bits(
+            c,
+            &site,
+            |k| eci_to_ecef(prop.position_at(grid.epoch_at(k)), grid.gmst_at(k)),
+            &leg,
+            grid.step_s,
+        );
+        // A multi-minute Ku pass at hundreds of Mbps delivers gigabits to
+        // hundreds of gigabits.
+        let gbits = volume / 1e9;
+        assert!(gbits > 1.0 && gbits < 1000.0, "pass volume {gbits} Gbit");
+    }
+
+    #[test]
+    fn longer_contacts_carry_more() {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let sats = single_plane(2, 550.0, 53.0, epoch);
+        let site = GroundSite::from_degrees("GS", 25.0, 121.5);
+        let grid = TimeGrid::new(epoch, 86_400.0, 30.0);
+        let vt = VisibilityTable::compute(&sats, std::slice::from_ref(&site), &grid, &SimConfig::default());
+        let plan = ContactPlan::from_table(&vt);
+        let leg = RfLeg::ku_gateway_downlink();
+        let mut vols: Vec<(usize, f64)> = plan
+            .contacts
+            .iter()
+            .map(|c| {
+                let prop = KeplerJ2::from_elements(&sats[c.sat].elements, epoch);
+                let v = contact_volume_bits(
+                    c,
+                    &site,
+                    |k| eci_to_ecef(prop.position_at(grid.epoch_at(k)), grid.gmst_at(k)),
+                    &leg,
+                    grid.step_s,
+                );
+                (c.len_steps(), v)
+            })
+            .collect();
+        vols.sort_by_key(|(len, _)| *len);
+        if vols.len() >= 2 {
+            let (short_len, short_v) = vols[0];
+            let (long_len, long_v) = *vols.last().unwrap();
+            if long_len > short_len {
+                assert!(long_v > short_v, "longer pass must carry more");
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Link latency: propagation delay through the bent pipe.
+//!
+//! The paper dismisses geostationary satellites because their altitude
+//! "leads to orders of magnitude degradation in network latency
+//! (second-level)" (§2). This module computes the actual bent-pipe
+//! propagation delay — terminal → satellite → ground station — over a
+//! simulation grid, picking the best (lowest-delay) visible satellite at
+//! each step, plus the closed-form GEO comparison.
+
+use crate::timegrid::TimeGrid;
+use crate::visibility::SimConfig;
+use orbital::constellation::Satellite;
+use orbital::frames::eci_to_ecef;
+use orbital::ground::GroundSite;
+use orbital::propagator::{KeplerJ2, Propagator};
+use serde::{Deserialize, Serialize};
+
+/// Speed of light, km/s.
+pub const C_KM_S: f64 = 299_792.458;
+
+/// One-way bent-pipe latency series for a terminal/ground-station pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySeries {
+    /// Per-step one-way delay, milliseconds; `None` when no satellite
+    /// simultaneously sees both endpoints.
+    pub delay_ms: Vec<Option<f64>>,
+    /// Step size of the underlying grid, seconds.
+    pub step_s: f64,
+}
+
+impl LatencySeries {
+    /// Fraction of steps with a usable path.
+    pub fn availability(&self) -> f64 {
+        if self.delay_ms.is_empty() {
+            return 0.0;
+        }
+        self.delay_ms.iter().filter(|d| d.is_some()).count() as f64 / self.delay_ms.len() as f64
+    }
+
+    /// Mean delay over connected steps, ms. `None` if never connected.
+    pub fn mean_ms(&self) -> Option<f64> {
+        let connected: Vec<f64> = self.delay_ms.iter().flatten().cloned().collect();
+        if connected.is_empty() {
+            None
+        } else {
+            Some(connected.iter().sum::<f64>() / connected.len() as f64)
+        }
+    }
+
+    /// Delay percentile over connected steps (q in [0, 1]).
+    pub fn percentile_ms(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        let mut connected: Vec<f64> = self.delay_ms.iter().flatten().cloned().collect();
+        if connected.is_empty() {
+            return None;
+        }
+        connected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((connected.len() - 1) as f64 * q).round() as usize;
+        Some(connected[idx])
+    }
+}
+
+/// Compute the bent-pipe one-way latency series: at each step, the best
+/// (minimum path length) satellite visible to *both* the terminal and the
+/// ground station carries the traffic.
+pub fn bentpipe_latency(
+    sats: &[Satellite],
+    terminal: &GroundSite,
+    ground_station: &GroundSite,
+    grid: &TimeGrid,
+    config: &SimConfig,
+) -> LatencySeries {
+    let sin_mask = config.min_elevation_deg.to_radians().sin();
+    let props: Vec<KeplerJ2> = sats
+        .iter()
+        .map(|s| KeplerJ2::from_elements(&s.elements, s.epoch))
+        .collect();
+    let mut delay_ms = Vec::with_capacity(grid.steps);
+    for k in 0..grid.steps {
+        let t = grid.epoch_at(k);
+        let gmst = grid.gmst_at(k);
+        let mut best: Option<f64> = None;
+        for p in &props {
+            let ecef = eci_to_ecef(p.position_at(t), gmst);
+            if terminal.sees_ecef_sin(ecef, sin_mask) && ground_station.sees_ecef_sin(ecef, sin_mask)
+            {
+                let path_km = terminal.ecef.distance(ecef) + ecef.distance(ground_station.ecef);
+                let d = path_km / C_KM_S * 1000.0;
+                if best.is_none_or(|b| d < b) {
+                    best = Some(d);
+                }
+            }
+        }
+        delay_ms.push(best);
+    }
+    LatencySeries { delay_ms, step_s: grid.step_s }
+}
+
+/// One-way bent-pipe delay through a geostationary satellite for endpoints
+/// at the given great-circle distances from the sub-satellite point
+/// (closed form; the paper's §2 comparison baseline).
+pub fn geo_latency_ms(terminal_offset_km: f64, gs_offset_km: f64) -> f64 {
+    const GEO_ALT_KM: f64 = 35_786.0;
+    let r = orbital::EARTH_RADIUS_KM;
+    let leg = |surface_offset_km: f64| -> f64 {
+        // Slant range from a surface point to the GEO satellite, via the
+        // central angle subtended by the surface offset.
+        let theta = surface_offset_km / r;
+        let geo_r = r + GEO_ALT_KM;
+        (r * r + geo_r * geo_r - 2.0 * r * geo_r * theta.cos()).sqrt()
+    };
+    (leg(terminal_offset_km) + leg(gs_offset_km)) / C_KM_S * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbital::constellation::single_plane;
+    use orbital::time::Epoch;
+
+    fn epoch() -> Epoch {
+        Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+    }
+
+    #[test]
+    fn leo_latency_milliseconds() {
+        let sats = single_plane(12, 550.0, 53.0, epoch());
+        let term = GroundSite::from_degrees("T", 25.0, 121.5);
+        let gs = GroundSite::from_degrees("G", 25.5, 121.0);
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let series = bentpipe_latency(&sats, &term, &gs, &grid, &SimConfig::default());
+        assert!(series.availability() > 0.0, "some connectivity expected");
+        let mean = series.mean_ms().unwrap();
+        // LEO bent pipe: single-digit milliseconds one way.
+        assert!(mean > 3.0 && mean < 15.0, "mean delay {mean} ms");
+        let p99 = series.percentile_ms(0.99).unwrap();
+        assert!(p99 >= mean, "p99 {p99} >= mean {mean}");
+        assert!(p99 < 20.0, "p99 {p99} ms");
+    }
+
+    #[test]
+    fn delay_bounded_below_by_altitude() {
+        // No path can beat twice the altitude at lightspeed.
+        let sats = single_plane(12, 550.0, 53.0, epoch());
+        let term = GroundSite::from_degrees("T", 25.0, 121.5);
+        let gs = GroundSite::from_degrees("G", 25.0, 121.5);
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let series = bentpipe_latency(&sats, &term, &gs, &grid, &SimConfig::default());
+        let floor = 2.0 * 550.0 / C_KM_S * 1000.0;
+        for d in series.delay_ms.iter().flatten() {
+            assert!(*d >= floor - 1e-9, "delay {d} below physical floor {floor}");
+        }
+    }
+
+    #[test]
+    fn geo_latency_is_orders_of_magnitude_worse() {
+        // Paper Sec. 2: GEO is second-level vs LEO millisecond-level.
+        let geo_oneway = geo_latency_ms(1000.0, 1000.0);
+        // One-way bent pipe through GEO: ~240 ms.
+        assert!(geo_oneway > 230.0 && geo_oneway < 260.0, "geo {geo_oneway} ms");
+        // Round trip with a request/response (4 legs): ~0.5 s — "second
+        // level" in the paper's words.
+        assert!(2.0 * geo_oneway > 450.0);
+        // Versus LEO's ~8 ms: more than an order of magnitude.
+        assert!(geo_oneway / 8.0 > 25.0);
+    }
+
+    #[test]
+    fn geo_latency_grows_with_offset() {
+        assert!(geo_latency_ms(0.0, 0.0) < geo_latency_ms(3000.0, 3000.0));
+    }
+
+    #[test]
+    fn empty_series_behaviour() {
+        let s = LatencySeries { delay_ms: vec![], step_s: 60.0 };
+        assert_eq!(s.availability(), 0.0);
+        assert!(s.mean_ms().is_none());
+        assert!(s.percentile_ms(0.5).is_none());
+    }
+
+    #[test]
+    fn disconnected_when_gs_far() {
+        let sats = single_plane(4, 550.0, 53.0, epoch());
+        let term = GroundSite::from_degrees("T", 25.0, 121.5);
+        let gs = GroundSite::from_degrees("G", -35.0, -58.0);
+        let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 120.0);
+        let series = bentpipe_latency(&sats, &term, &gs, &grid, &SimConfig::default());
+        assert_eq!(series.availability(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Seeded Monte-Carlo harness.
+//!
+//! Every sampling experiment in the paper averages 100 randomized runs
+//! ("averaged across one hundred runs of the simulation. In each run, we
+//! randomly sample satellites from the Starlink network"). This module
+//! provides deterministic, seed-derived sampling so experiments are exactly
+//! reproducible, and a small runner that aggregates per-run scalars.
+
+use crate::coverage::Aggregate;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for run `run` of an experiment with base `seed`.
+///
+/// Each run gets an independent stream (SplitMix-style mixing of the run
+/// index into the seed) so adding runs never perturbs earlier ones.
+pub fn run_rng(seed: u64, run: u64) -> StdRng {
+    let mut z = seed ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+/// Sample `k` distinct indices from `0..n` (panics if `k > n`).
+pub fn sample_indices(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} from {n}");
+    let mut v = sample(rng, n, k).into_vec();
+    v.sort_unstable();
+    v
+}
+
+/// Split `0..n` into a sampled subset of size `k` and its complement.
+pub fn sample_split(rng: &mut StdRng, n: usize, k: usize) -> (Vec<usize>, Vec<usize>) {
+    let chosen = sample_indices(rng, n, k);
+    let mut mask = vec![false; n];
+    for &c in &chosen {
+        mask[c] = true;
+    }
+    let rest = (0..n).filter(|&i| !mask[i]).collect();
+    (chosen, rest)
+}
+
+/// Pick one uniform index in `0..n`.
+pub fn pick_one(rng: &mut StdRng, n: usize) -> usize {
+    assert!(n > 0);
+    rng.gen_range(0..n)
+}
+
+/// Run `runs` seeded experiment bodies and aggregate their scalar outputs.
+pub fn run_experiment(seed: u64, runs: usize, mut body: impl FnMut(&mut StdRng, usize) -> f64) -> Aggregate {
+    assert!(runs > 0, "need at least one run");
+    let samples: Vec<f64> = (0..runs)
+        .map(|r| {
+            let mut rng = run_rng(seed, r as u64);
+            body(&mut rng, r)
+        })
+        .collect();
+    Aggregate::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rng_deterministic_per_run() {
+        let a: u64 = run_rng(42, 3).gen();
+        let b: u64 = run_rng(42, 3).gen();
+        let c: u64 = run_rng(42, 4).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_indices_distinct_sorted() {
+        let mut rng = run_rng(1, 0);
+        let v = sample_indices(&mut rng, 100, 30);
+        assert_eq!(v.len(), 30);
+        let set: HashSet<usize> = v.iter().cloned().collect();
+        assert_eq!(set.len(), 30);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert!(v.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn sample_full_population() {
+        let mut rng = run_rng(1, 0);
+        let v = sample_indices(&mut rng, 10, 10);
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversample_panics() {
+        let mut rng = run_rng(1, 0);
+        sample_indices(&mut rng, 5, 6);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let mut rng = run_rng(7, 0);
+        let (a, b) = sample_split(&mut rng, 50, 20);
+        assert_eq!(a.len(), 20);
+        assert_eq!(b.len(), 30);
+        let mut all: Vec<usize> = a.iter().chain(b.iter()).cloned().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn experiment_aggregates() {
+        // Body returns the run index; mean of 0..10 is 4.5.
+        let agg = run_experiment(9, 10, |_rng, run| run as f64);
+        assert_eq!(agg.n, 10);
+        assert!((agg.mean - 4.5).abs() < 1e-12);
+        assert_eq!(agg.min, 0.0);
+        assert_eq!(agg.max, 9.0);
+    }
+
+    #[test]
+    fn experiment_reproducible() {
+        let f = |rng: &mut rand::rngs::StdRng, _run: usize| rng.gen::<f64>();
+        let a = run_experiment(123, 20, f);
+        let b = run_experiment(123, 20, f);
+        assert_eq!(a.mean, b.mean);
+        let c = run_experiment(124, 20, f);
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn adding_runs_preserves_prefix() {
+        // Run k's stream must not depend on the total run count.
+        let mut first_five_a = Vec::new();
+        let _ = run_experiment(5, 5, |rng, _| {
+            let x: f64 = rng.gen();
+            first_five_a.push(x);
+            x
+        });
+        let mut first_five_b = Vec::new();
+        let _ = run_experiment(5, 10, |rng, _| {
+            let x: f64 = rng.gen();
+            first_five_b.push(x);
+            x
+        });
+        assert_eq!(&first_five_a[..], &first_five_b[..5]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Regional coverage: aggregate statistics over a service area.
+//!
+//! The paper's motivating question is regional ("how many satellites would
+//! a country need to deploy to serve their own users?"). A single receiver
+//! understates the problem — national availability is governed by the
+//! *worst-served* point. This module evaluates coverage over a
+//! [`geodata::Region`] receiver grid and reports the mean/worst-site
+//! statistics the Taiwan and Ukraine scenarios use.
+
+use crate::coverage::CoverageStats;
+use crate::timegrid::TimeGrid;
+use crate::visibility::{SimConfig, VisibilityTable};
+use geodata::Region;
+use orbital::constellation::Satellite;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate coverage over a region's receiver grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionCoverage {
+    /// Region name.
+    pub region: String,
+    /// Number of receiver grid points.
+    pub receivers: usize,
+    /// Mean covered fraction across receivers.
+    pub mean_fraction: f64,
+    /// Worst receiver's covered fraction (national availability).
+    pub worst_fraction: f64,
+    /// Worst receiver's longest gap, seconds.
+    pub worst_max_gap_s: f64,
+    /// Steps where *every* receiver is covered simultaneously, as a
+    /// fraction (the all-clear availability).
+    pub simultaneous_fraction: f64,
+}
+
+/// Evaluate a satellite subset over a region with an `n x n` receiver grid.
+pub fn region_coverage(
+    sats: &[Satellite],
+    region: &Region,
+    grid_n: usize,
+    time: &TimeGrid,
+    config: &SimConfig,
+) -> RegionCoverage {
+    let receivers = region.receiver_grid(grid_n);
+    let vt = VisibilityTable::compute(sats, &receivers, time, config);
+    let all: Vec<usize> = (0..sats.len()).collect();
+    let unions: Vec<crate::TimeBitset> =
+        (0..receivers.len()).map(|site| vt.coverage_union(&all, site)).collect();
+    let stats: Vec<CoverageStats> =
+        unions.iter().map(|u| CoverageStats::from_bitset(u, time)).collect();
+    let mean_fraction =
+        stats.iter().map(|s| s.covered_fraction).sum::<f64>() / stats.len() as f64;
+    let worst = stats
+        .iter()
+        .min_by(|a, b| a.covered_fraction.partial_cmp(&b.covered_fraction).unwrap())
+        .expect("grid is non-empty");
+    // Simultaneous coverage: AND of all receiver unions.
+    let mut simultaneous = crate::TimeBitset::ones(time.steps);
+    for u in &unions {
+        simultaneous.intersect_assign(u);
+    }
+    RegionCoverage {
+        region: region.name.clone(),
+        receivers: receivers.len(),
+        mean_fraction,
+        worst_fraction: worst.covered_fraction,
+        worst_max_gap_s: worst.max_gap_s,
+        simultaneous_fraction: simultaneous.fraction_ones(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::{run_rng, sample_indices};
+    use orbital::constellation::starlink_gen1_pool;
+    use orbital::time::Epoch;
+
+    fn setup(n_sats: usize) -> (Vec<Satellite>, TimeGrid) {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let pool = starlink_gen1_pool(epoch);
+        let mut rng = run_rng(0x4E6, 0);
+        let idx = sample_indices(&mut rng, pool.len(), n_sats);
+        let sats = idx.iter().map(|&i| pool[i].clone()).collect();
+        (sats, TimeGrid::new(epoch, 86_400.0, 300.0))
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let (sats, time) = setup(300);
+        let rc = region_coverage(&sats, &Region::taiwan(), 3, &time, &SimConfig::default());
+        assert_eq!(rc.receivers, 9);
+        assert!(rc.worst_fraction <= rc.mean_fraction + 1e-12);
+        assert!(rc.simultaneous_fraction <= rc.worst_fraction + 1e-12);
+        assert!((0.0..=1.0).contains(&rc.mean_fraction));
+    }
+
+    #[test]
+    fn small_region_sites_correlated() {
+        // Taiwan spans ~400 km: one satellite often covers all receivers at
+        // once, so simultaneous coverage is close to worst-site coverage.
+        let (sats, time) = setup(400);
+        let rc = region_coverage(&sats, &Region::taiwan(), 2, &time, &SimConfig::default());
+        assert!(
+            rc.simultaneous_fraction > 0.5 * rc.worst_fraction,
+            "simultaneous {} vs worst {}",
+            rc.simultaneous_fraction,
+            rc.worst_fraction
+        );
+    }
+
+    #[test]
+    fn latitude_band_dominates_region_size() {
+        // Ukraine (44-52 N) sits right under the 53-degree shells'
+        // density band, where satellites linger near their inclination
+        // limit; Taiwan (22-25 N) does not. Despite spanning 9x the
+        // longitude, Ukraine's per-site coverage is *better* — the
+        // latitude effect the paper's inclination discussions rest on.
+        let (sats, time) = setup(300);
+        let taiwan = region_coverage(&sats, &Region::taiwan(), 3, &time, &SimConfig::default());
+        let ukraine = region_coverage(&sats, &Region::ukraine(), 3, &time, &SimConfig::default());
+        assert!(
+            ukraine.mean_fraction > taiwan.mean_fraction,
+            "ukraine {} vs taiwan {}",
+            ukraine.mean_fraction,
+            taiwan.mean_fraction
+        );
+        // But the simultaneity *penalty* (worst-site minus simultaneous) is
+        // larger for the geographically larger region.
+        let pen_t = taiwan.worst_fraction - taiwan.simultaneous_fraction;
+        let pen_u = ukraine.worst_fraction - ukraine.simultaneous_fraction;
+        assert!(pen_u >= pen_t - 0.02, "penalty ukraine {pen_u} vs taiwan {pen_t}");
+    }
+
+    #[test]
+    fn more_satellites_raise_worst_site() {
+        let (small, time) = setup(150);
+        let (large, _) = setup(600);
+        let cfg = SimConfig::default();
+        let a = region_coverage(&small, &Region::taiwan(), 2, &time, &cfg);
+        let b = region_coverage(&large, &Region::taiwan(), 2, &time, &cfg);
+        assert!(b.worst_fraction > a.worst_fraction, "{} vs {}", b.worst_fraction, a.worst_fraction);
+    }
+}

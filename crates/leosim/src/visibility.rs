@@ -1,0 +1,313 @@
+//! The visibility engine: propagate a constellation over a time grid and
+//! materialize per-(satellite, site) visibility bitsets.
+//!
+//! This is the expensive, do-once stage of every experiment. Work is
+//! partitioned across threads by satellite (each satellite's propagation is
+//! independent), using `crossbeam` scoped threads so satellite and site
+//! slices can be borrowed without cloning.
+
+use crate::bitset::TimeBitset;
+use crate::timegrid::TimeGrid;
+use orbital::constellation::Satellite;
+use orbital::frames::eci_to_ecef;
+use orbital::ground::GroundSite;
+use orbital::propagator::{KeplerJ2, Propagator, Sgp4};
+use serde::{Deserialize, Serialize};
+
+/// Which propagator model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PropagatorKind {
+    /// Two-body + secular J2 (fast; default).
+    #[default]
+    KeplerJ2,
+    /// Full near-Earth SGP4 (slower; for TLE-sourced elements with drag).
+    Sgp4,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Minimum elevation angle for a usable link, degrees. Starlink-class
+    /// user terminals use ~25 degrees.
+    pub min_elevation_deg: f64,
+    /// Propagator model.
+    pub propagator: PropagatorKind,
+    /// Number of worker threads (0 = use available parallelism).
+    pub threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { min_elevation_deg: 25.0, propagator: PropagatorKind::KeplerJ2, threads: 0 }
+    }
+}
+
+impl SimConfig {
+    /// Config with a different elevation mask.
+    pub fn with_mask_deg(mut self, deg: f64) -> Self {
+        self.min_elevation_deg = deg;
+        self
+    }
+
+    fn thread_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        }
+    }
+}
+
+/// Per-(satellite, site) visibility over a time grid.
+///
+/// Layout: `table[sat_index][site_index]` is the bitset of steps where that
+/// satellite is above the elevation mask at that site. Satellite order
+/// matches the input slice; `sat_ids` records their stable IDs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VisibilityTable {
+    /// The time grid the bitsets are indexed by.
+    pub grid: TimeGrid,
+    /// Stable satellite IDs in table order.
+    pub sat_ids: Vec<u32>,
+    /// Site names in table order.
+    pub site_names: Vec<String>,
+    /// `table[sat][site]` visibility bitsets.
+    pub table: Vec<Vec<TimeBitset>>,
+}
+
+impl VisibilityTable {
+    /// Propagate `sats` over `grid` and test visibility against every site.
+    pub fn compute(
+        sats: &[Satellite],
+        sites: &[GroundSite],
+        grid: &TimeGrid,
+        config: &SimConfig,
+    ) -> VisibilityTable {
+        let sin_mask = config.min_elevation_deg.to_radians().sin();
+        let threads = config.thread_count().max(1).min(sats.len().max(1));
+        let mut table: Vec<Vec<TimeBitset>> = Vec::with_capacity(sats.len());
+        table.resize_with(sats.len(), Vec::new);
+
+        // Partition satellites into contiguous chunks, one per worker.
+        let chunk = sats.len().div_ceil(threads).max(1);
+        let mut slots: Vec<&mut [Vec<TimeBitset>]> = table.chunks_mut(chunk).collect();
+        crossbeam::thread::scope(|scope| {
+            for (ci, slot) in slots.iter_mut().enumerate() {
+                let sat_chunk = &sats[ci * chunk..(ci * chunk + slot.len()).min(sats.len())];
+                let grid_ref = grid;
+                let prop_kind = config.propagator;
+                scope.spawn(move |_| {
+                    for (s, out) in sat_chunk.iter().zip(slot.iter_mut()) {
+                        *out = visibility_row(s, sites, grid_ref, sin_mask, prop_kind);
+                    }
+                });
+            }
+        })
+        .expect("visibility worker panicked");
+
+        VisibilityTable {
+            grid: grid.clone(),
+            sat_ids: sats.iter().map(|s| s.id).collect(),
+            site_names: sites.iter().map(|s| s.name.clone()).collect(),
+            table,
+        }
+    }
+
+    /// Number of satellites in the table.
+    pub fn sat_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of sites in the table.
+    pub fn site_count(&self) -> usize {
+        self.site_names.len()
+    }
+
+    /// The visibility bitset of `sat` at `site` (indices in table order).
+    pub fn bitset(&self, sat: usize, site: usize) -> &TimeBitset {
+        &self.table[sat][site]
+    }
+
+    /// Union coverage of a subset of satellites at one site: the steps where
+    /// *any* satellite in `sat_indices` is visible.
+    pub fn coverage_union(&self, sat_indices: &[usize], site: usize) -> TimeBitset {
+        let mut acc = TimeBitset::zeros(self.grid.steps);
+        for &s in sat_indices {
+            acc.union_assign(&self.table[s][site]);
+        }
+        acc
+    }
+
+    /// For every site, the union coverage of a subset of satellites.
+    pub fn coverage_unions(&self, sat_indices: &[usize]) -> Vec<TimeBitset> {
+        (0..self.site_count()).map(|site| self.coverage_union(sat_indices, site)).collect()
+    }
+
+    /// The steps where satellite `sat` is visible from *at least one* of the
+    /// given sites (used for idle-time analysis).
+    pub fn visible_to_any(&self, sat: usize, site_indices: &[usize]) -> TimeBitset {
+        let mut acc = TimeBitset::zeros(self.grid.steps);
+        for &site in site_indices {
+            acc.union_assign(&self.table[sat][site]);
+        }
+        acc
+    }
+}
+
+fn visibility_row(
+    sat: &Satellite,
+    sites: &[GroundSite],
+    grid: &TimeGrid,
+    sin_mask: f64,
+    prop_kind: PropagatorKind,
+) -> Vec<TimeBitset> {
+    let mut row: Vec<TimeBitset> = (0..sites.len()).map(|_| TimeBitset::zeros(grid.steps)).collect();
+    let kj2;
+    let sgp4;
+    let prop: &dyn Propagator = match prop_kind {
+        PropagatorKind::KeplerJ2 => {
+            kj2 = KeplerJ2::from_elements(&sat.elements, sat.epoch);
+            &kj2
+        }
+        PropagatorKind::Sgp4 => {
+            let tle = sat.to_tle();
+            sgp4 = Sgp4::from_tle(&tle).expect("constellation TLEs are near-Earth");
+            &sgp4
+        }
+    };
+    for k in 0..grid.steps {
+        let t = grid.epoch_at(k);
+        let eci = prop.position_at(t);
+        let ecef = eci_to_ecef(eci, grid.gmst_at(k));
+        for (si, site) in sites.iter().enumerate() {
+            if site.sees_ecef_sin(ecef, sin_mask) {
+                row[si].set(k);
+            }
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbital::constellation::{single_plane, walker_delta, ShellSpec};
+    use orbital::time::Epoch;
+
+    fn epoch() -> Epoch {
+        Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+    }
+
+    fn taipei() -> GroundSite {
+        GroundSite::from_degrees("Taipei", 25.03, 121.56)
+    }
+
+    #[test]
+    fn single_satellite_small_coverage() {
+        // Paper Sec. 2: a single satellite covers a site < 1% of the time.
+        let sats = single_plane(1, 550.0, 53.0, epoch());
+        let sites = [taipei()];
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let vt = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default());
+        let frac = vt.bitset(0, 0).fraction_ones();
+        assert!(frac < 0.02, "single-sat coverage fraction {frac}");
+    }
+
+    #[test]
+    fn more_satellites_more_coverage() {
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let sites = [taipei()];
+        let small = single_plane(4, 550.0, 53.0, epoch());
+        let spec = ShellSpec {
+            planes: 12,
+            sats_per_plane: 12,
+            ..ShellSpec::starlink_like()
+        };
+        let big = walker_delta(&spec, epoch());
+        let cfg = SimConfig::default();
+        let vt_small = VisibilityTable::compute(&small, &sites, &grid, &cfg);
+        let vt_big = VisibilityTable::compute(&big, &sites, &grid, &cfg);
+        let idx_small: Vec<usize> = (0..small.len()).collect();
+        let idx_big: Vec<usize> = (0..big.len()).collect();
+        let c_small = vt_small.coverage_union(&idx_small, 0).fraction_ones();
+        let c_big = vt_big.coverage_union(&idx_big, 0).fraction_ones();
+        assert!(c_big > c_small, "144 sats {c_big} vs 4 sats {c_small}");
+    }
+
+    #[test]
+    fn mask_monotonicity() {
+        let sats = single_plane(8, 550.0, 53.0, epoch());
+        let sites = [taipei()];
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let lo = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default().with_mask_deg(10.0));
+        let hi = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default().with_mask_deg(40.0));
+        for s in 0..sats.len() {
+            let a = lo.bitset(s, 0);
+            let b = hi.bitset(s, 0);
+            // Everything visible at 40 deg is visible at 10 deg.
+            assert_eq!(a.intersection_count(b), b.count_ones(), "sat {s}");
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let sats = single_plane(6, 550.0, 53.0, epoch());
+        let sites = [taipei(), GroundSite::from_degrees("Tokyo", 35.69, 139.69)];
+        let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 60.0);
+        let t1 = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig { threads: 1, ..Default::default() });
+        let t4 = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig { threads: 4, ..Default::default() });
+        for s in 0..sats.len() {
+            for site in 0..2 {
+                assert_eq!(t1.bitset(s, site), t4.bitset(s, site), "sat {s} site {site}");
+            }
+        }
+    }
+
+    #[test]
+    fn sgp4_and_keplerj2_similar_coverage() {
+        let sats = single_plane(8, 550.0, 53.0, epoch());
+        let sites = [taipei()];
+        let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+        let a = VisibilityTable::compute(
+            &sats,
+            &sites,
+            &grid,
+            &SimConfig { propagator: PropagatorKind::KeplerJ2, ..Default::default() },
+        );
+        let b = VisibilityTable::compute(
+            &sats,
+            &sites,
+            &grid,
+            &SimConfig { propagator: PropagatorKind::Sgp4, ..Default::default() },
+        );
+        let idx: Vec<usize> = (0..sats.len()).collect();
+        let ca = a.coverage_union(&idx, 0).fraction_ones();
+        let cb = b.coverage_union(&idx, 0).fraction_ones();
+        assert!((ca - cb).abs() < 0.01, "KeplerJ2 {ca} vs SGP4 {cb}");
+    }
+
+    #[test]
+    fn visible_to_any_unions_sites() {
+        let sats = single_plane(2, 550.0, 53.0, epoch());
+        let sites = [taipei(), GroundSite::from_degrees("Seoul", 37.57, 126.98)];
+        let grid = TimeGrid::new(epoch(), 12.0 * 3600.0, 60.0);
+        let vt = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default());
+        let any = vt.visible_to_any(0, &[0, 1]);
+        let mut manual = vt.bitset(0, 0).clone();
+        manual.union_assign(vt.bitset(0, 1));
+        assert_eq!(any, manual);
+    }
+
+    #[test]
+    fn passes_have_leo_durations() {
+        // Runs of visibility should be minutes, not hours (LEO passes).
+        let sats = single_plane(1, 550.0, 53.0, epoch());
+        let sites = [taipei()];
+        let grid = TimeGrid::new(epoch(), 3.0 * 86_400.0, 30.0);
+        let vt = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default());
+        for run in vt.bitset(0, 0).runs_of_ones() {
+            let dur = grid.steps_to_seconds(run.len());
+            assert!(dur <= 12.0 * 60.0, "pass of {dur} s");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Bootstrapping a decentralized constellation (the paper's §4 lead open
+//! question).
+//!
+//! "Early participants contribute a small number of satellites, which do
+//! not provide continuous coverage and, hence, find few customers. Such
+//! questions have been tackled by terrestrial decentralized networks by
+//! issuing tokens to early adopters with future financial value."
+//!
+//! This module simulates that growth process: parties join in rounds, each
+//! contributing satellites placed by the gap-filling rule; every round the
+//! network mints a fixed token emission split by *coverage contribution*
+//! (the marginal population-weighted coverage a party's satellites provide)
+//! with an early-adopter multiplier that decays over rounds — the
+//! Helium-style schedule the paper points to. The output is the token
+//! ledger and the coverage trajectory, letting incentive designers ask "did
+//! joining early pay?".
+
+use crate::placement::{greedy_select, weighted_coverage_s};
+use leosim::visibility::VisibilityTable;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Emission schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmissionSchedule {
+    /// Tokens minted per round.
+    pub tokens_per_round: f64,
+    /// Multiplier applied in round 0, decaying geometrically to 1.
+    pub early_multiplier: f64,
+    /// Geometric decay of the multiplier per round (0..1).
+    pub decay: f64,
+}
+
+impl Default for EmissionSchedule {
+    fn default() -> Self {
+        EmissionSchedule { tokens_per_round: 1000.0, early_multiplier: 3.0, decay: 0.5 }
+    }
+}
+
+impl EmissionSchedule {
+    /// The bonus multiplier in a given round (>= 1).
+    pub fn multiplier(&self, round: usize) -> f64 {
+        1.0 + (self.early_multiplier - 1.0) * self.decay.powi(round as i32)
+    }
+}
+
+/// One round of the growth simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowthRound {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Party that joined this round.
+    pub party: String,
+    /// Pool indices of the satellites the party contributed.
+    pub satellites: Vec<usize>,
+    /// Population-weighted coverage seconds after this round.
+    pub coverage_s: f64,
+    /// Tokens minted to each party this round.
+    pub minted: BTreeMap<String, f64>,
+}
+
+/// Result of a full bootstrap simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapOutcome {
+    /// Per-round records.
+    pub rounds: Vec<GrowthRound>,
+    /// Final token balances.
+    pub balances: BTreeMap<String, f64>,
+    /// Final constellation (pool indices).
+    pub constellation: Vec<usize>,
+}
+
+/// Simulate `parties.len()` rounds of growth over a candidate pool.
+///
+/// Each round, the next party contributes `sats_per_party` satellites
+/// chosen by [`greedy_select`] from the unused pool (the coverage-optimal,
+/// incentive-compatible placement of §3.3); the round's emission is split
+/// among *all* participants in proportion to the marginal coverage their
+/// satellites contribute (evaluated against the others'), scaled by the
+/// early-adopter multiplier of the round each party *joined*.
+pub fn simulate_bootstrap(
+    vt_pool: &VisibilityTable,
+    weights: &[f64],
+    parties: &[&str],
+    sats_per_party: usize,
+    schedule: &EmissionSchedule,
+) -> BootstrapOutcome {
+    let mut constellation: Vec<usize> = Vec::new();
+    let mut ownership: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut join_round: BTreeMap<String, usize> = BTreeMap::new();
+    let mut balances: BTreeMap<String, f64> = BTreeMap::new();
+    let mut used = vec![false; vt_pool.sat_count()];
+    let mut rounds = Vec::new();
+
+    for (round, &party) in parties.iter().enumerate() {
+        // The joining party places its satellites to fill current gaps.
+        let candidates: Vec<usize> = (0..vt_pool.sat_count()).filter(|&i| !used[i]).collect();
+        let chosen = greedy_select(vt_pool, &constellation, &candidates, sats_per_party, weights);
+        for &c in &chosen {
+            used[c] = true;
+        }
+        constellation.extend(&chosen);
+        ownership.insert(party.to_string(), chosen.clone());
+        join_round.insert(party.to_string(), round);
+
+        // Emission split by marginal coverage contribution.
+        let total_cov = weighted_coverage_s(vt_pool, &constellation, weights);
+        let mut contributions: BTreeMap<String, f64> = BTreeMap::new();
+        for (p, sats) in &ownership {
+            let without: Vec<usize> = constellation
+                .iter()
+                .cloned()
+                .filter(|i| !sats.contains(i))
+                .collect();
+            let marginal = total_cov - weighted_coverage_s(vt_pool, &without, weights);
+            contributions.insert(p.clone(), marginal.max(0.0));
+        }
+        // Weight contributions by each party's join-round multiplier.
+        let weighted: BTreeMap<String, f64> = contributions
+            .iter()
+            .map(|(p, c)| (p.clone(), c * schedule.multiplier(join_round[p])))
+            .collect();
+        let denom: f64 = weighted.values().sum();
+        let mut minted = BTreeMap::new();
+        if denom > 0.0 {
+            for (p, w) in &weighted {
+                let share = schedule.tokens_per_round * w / denom;
+                *balances.entry(p.clone()).or_default() += share;
+                minted.insert(p.clone(), share);
+            }
+        }
+        rounds.push(GrowthRound {
+            round,
+            party: party.to_string(),
+            satellites: chosen,
+            coverage_s: total_cov,
+            minted,
+        });
+    }
+    BootstrapOutcome { rounds, balances, constellation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leosim::visibility::SimConfig;
+    use leosim::TimeGrid;
+    use orbital::constellation::{walker_delta, ShellSpec};
+    use orbital::ground::GroundSite;
+    use orbital::time::Epoch;
+
+    fn pool() -> (VisibilityTable, Vec<f64>) {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let spec = ShellSpec { planes: 8, sats_per_plane: 6, ..ShellSpec::starlink_like() };
+        let sats = walker_delta(&spec, epoch);
+        let sites = vec![
+            GroundSite::from_degrees("Tokyo", 35.69, 139.69),
+            GroundSite::from_degrees("SaoPaulo", -23.55, -46.63),
+            GroundSite::from_degrees("Lagos", 6.52, 3.38),
+        ];
+        let weights = vec![0.5, 0.3, 0.2];
+        let grid = TimeGrid::new(epoch, 86_400.0, 120.0);
+        (VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default()), weights)
+    }
+
+    #[test]
+    fn coverage_grows_each_round() {
+        let (vt, w) = pool();
+        let out = simulate_bootstrap(&vt, &w, &["p0", "p1", "p2", "p3"], 4, &EmissionSchedule::default());
+        assert_eq!(out.rounds.len(), 4);
+        for pair in out.rounds.windows(2) {
+            assert!(pair[1].coverage_s >= pair[0].coverage_s, "coverage must not shrink");
+        }
+        assert_eq!(out.constellation.len(), 16);
+    }
+
+    #[test]
+    fn emissions_conserved_per_round() {
+        let (vt, w) = pool();
+        let sched = EmissionSchedule::default();
+        let out = simulate_bootstrap(&vt, &w, &["p0", "p1", "p2"], 3, &sched);
+        for r in &out.rounds {
+            let total: f64 = r.minted.values().sum();
+            assert!((total - sched.tokens_per_round).abs() < 1e-6, "round {}: {total}", r.round);
+        }
+        let grand: f64 = out.balances.values().sum();
+        assert!((grand - 3.0 * sched.tokens_per_round).abs() < 1e-6);
+    }
+
+    #[test]
+    fn early_adopters_end_richer_under_equal_contribution() {
+        let (vt, w) = pool();
+        let out = simulate_bootstrap(&vt, &w, &["early", "mid", "late"], 4, &EmissionSchedule::default());
+        let b = &out.balances;
+        assert!(
+            b["early"] > b["mid"] && b["mid"] > b["late"],
+            "early-adopter ordering violated: {b:?}"
+        );
+    }
+
+    #[test]
+    fn no_bonus_flattens_advantage() {
+        let (vt, w) = pool();
+        let flat = EmissionSchedule { early_multiplier: 1.0, ..Default::default() };
+        let out = simulate_bootstrap(&vt, &w, &["early", "late"], 4, &flat);
+        let bonus = simulate_bootstrap(&vt, &w, &["early", "late"], 4, &EmissionSchedule::default());
+        let adv_flat = out.balances["early"] / out.balances["late"].max(1e-9);
+        let adv_bonus = bonus.balances["early"] / bonus.balances["late"].max(1e-9);
+        assert!(adv_bonus > adv_flat, "bonus {adv_bonus} vs flat {adv_flat}");
+    }
+
+    #[test]
+    fn multiplier_decays_to_one() {
+        let s = EmissionSchedule::default();
+        assert!((s.multiplier(0) - 3.0).abs() < 1e-12);
+        assert!(s.multiplier(1) < s.multiplier(0));
+        assert!((s.multiplier(30) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn satellites_never_reused() {
+        let (vt, w) = pool();
+        let out = simulate_bootstrap(&vt, &w, &["a", "b", "c", "d", "e"], 3, &EmissionSchedule::default());
+        let mut all: Vec<usize> = out.constellation.clone();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), out.constellation.len(), "duplicate satellite ownership");
+    }
+}

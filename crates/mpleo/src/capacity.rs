@@ -1,0 +1,267 @@
+//! Capacity sharing: terminal-to-satellite assignment and spare-capacity
+//! accounting.
+//!
+//! The MP-LEO pitch (paper §1–2) is that a satellite idle over someone
+//! else's region should carry that region's traffic. This module models
+//! per-satellite capacity (number of simultaneously served terminals) and a
+//! least-loaded assignment scheduler, then reports per-party utilization and
+//! spare capacity — the quantities the incentive layer prices.
+
+use crate::party::PartyId;
+use leosim::visibility::VisibilityTable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Capacity model: each satellite serves at most `terminals_per_sat`
+/// terminals simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacityConfig {
+    /// Maximum concurrently served terminals per satellite.
+    pub terminals_per_sat: usize,
+}
+
+impl Default for CapacityConfig {
+    fn default() -> Self {
+        CapacityConfig { terminals_per_sat: 4 }
+    }
+}
+
+/// Result of scheduling terminals onto satellites over the grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Assignment {
+    /// `served[site]` — steps where the terminal was actually served.
+    pub served: Vec<leosim::TimeBitset>,
+    /// `load[sat]` — total terminal-steps carried by each satellite (keyed
+    /// by position in the scheduled subset).
+    pub load: Vec<usize>,
+    /// Capacity config used.
+    pub config: CapacityConfig,
+    /// The satellite subset that was scheduled (indices into the table).
+    pub sat_indices: Vec<usize>,
+    /// Total terminal-steps that wanted service (terminal visible to >= 1
+    /// satellite of the subset).
+    pub demand_steps: usize,
+    /// Total terminal-steps actually served.
+    pub served_steps: usize,
+}
+
+impl Assignment {
+    /// Fraction of demand served, `[0, 1]` (1.0 when demand is zero).
+    pub fn service_ratio(&self) -> f64 {
+        if self.demand_steps == 0 {
+            1.0
+        } else {
+            self.served_steps as f64 / self.demand_steps as f64
+        }
+    }
+
+    /// Utilization of satellite `pos` (position in `sat_indices`):
+    /// fraction of its total capacity-steps actually used.
+    pub fn utilization(&self, pos: usize, steps: usize) -> f64 {
+        let cap = self.config.terminals_per_sat * steps;
+        if cap == 0 {
+            0.0
+        } else {
+            self.load[pos] as f64 / cap as f64
+        }
+    }
+
+    /// Spare capacity of the whole subset in terminal-steps.
+    pub fn spare_capacity_steps(&self, steps: usize) -> usize {
+        let total = self.config.terminals_per_sat * self.sat_indices.len() * steps;
+        total - self.load.iter().sum::<usize>()
+    }
+}
+
+/// Assign each terminal, at every step, to the least-loaded visible
+/// satellite with spare capacity (ties broken by subset order).
+///
+/// Terminals are considered in site order each step; this simple greedy
+/// scheduler is the reference policy — fancier policies plug in by
+/// producing their own [`Assignment`].
+pub fn assign_least_loaded(
+    vt: &VisibilityTable,
+    sat_indices: &[usize],
+    config: CapacityConfig,
+) -> Assignment {
+    let steps = vt.grid.steps;
+    let mut served: Vec<leosim::TimeBitset> =
+        (0..vt.site_count()).map(|_| leosim::TimeBitset::zeros(steps)).collect();
+    let mut load = vec![0usize; sat_indices.len()];
+    let mut demand_steps = 0usize;
+    let mut served_steps = 0usize;
+    let mut step_load = vec![0usize; sat_indices.len()];
+    #[allow(clippy::needless_range_loop)]
+    for step in 0..steps {
+        step_load.iter_mut().for_each(|l| *l = 0);
+        for site in 0..vt.site_count() {
+            // Candidate satellites: visible at this step.
+            let mut best: Option<usize> = None; // position in sat_indices
+            let mut any_visible = false;
+            for (pos, &s) in sat_indices.iter().enumerate() {
+                if vt.bitset(s, site).get(step) {
+                    any_visible = true;
+                    if step_load[pos] < config.terminals_per_sat
+                        && best.is_none_or(|b| step_load[pos] < step_load[b])
+                    {
+                        best = Some(pos);
+                    }
+                }
+            }
+            if any_visible {
+                demand_steps += 1;
+            }
+            if let Some(pos) = best {
+                step_load[pos] += 1;
+                load[pos] += 1;
+                served[site].set(step);
+                served_steps += 1;
+            }
+        }
+    }
+    Assignment {
+        served,
+        load,
+        config,
+        sat_indices: sat_indices.to_vec(),
+        demand_steps,
+        served_steps,
+    }
+}
+
+/// Per-party utilization report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartyUtilization {
+    /// Party.
+    pub party: PartyId,
+    /// Terminal-steps carried by this party's satellites.
+    pub carried_steps: usize,
+    /// Mean utilization of this party's satellites, `[0, 1]`.
+    pub mean_utilization: f64,
+}
+
+/// Aggregate an assignment by satellite ownership.
+pub fn utilization_by_party(
+    assignment: &Assignment,
+    steps: usize,
+    sat_owner: &HashMap<usize, PartyId>,
+) -> Vec<PartyUtilization> {
+    let mut carried: HashMap<PartyId, usize> = HashMap::new();
+    let mut utils: HashMap<PartyId, Vec<f64>> = HashMap::new();
+    for (pos, &sat) in assignment.sat_indices.iter().enumerate() {
+        let owner = sat_owner.get(&sat).expect("satellite has an owner").clone();
+        *carried.entry(owner.clone()).or_default() += assignment.load[pos];
+        utils.entry(owner).or_default().push(assignment.utilization(pos, steps));
+    }
+    let mut out: Vec<PartyUtilization> = carried
+        .into_iter()
+        .map(|(party, carried_steps)| {
+            let u = &utils[&party];
+            PartyUtilization {
+                carried_steps,
+                mean_utilization: u.iter().sum::<f64>() / u.len() as f64,
+                party,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.party.cmp(&b.party));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leosim::visibility::SimConfig;
+    use leosim::TimeGrid;
+    use orbital::constellation::single_plane;
+    use orbital::ground::GroundSite;
+    use orbital::time::Epoch;
+
+    fn epoch() -> Epoch {
+        Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+    }
+
+    fn table(n_terminals: usize) -> VisibilityTable {
+        let sats = single_plane(8, 550.0, 53.0, epoch());
+        // Terminals clustered around Taipei so they compete for the same
+        // satellites.
+        let sites: Vec<GroundSite> = (0..n_terminals)
+            .map(|k| GroundSite::from_degrees(format!("T{k}"), 25.0 + 0.1 * k as f64, 121.5))
+            .collect();
+        let grid = TimeGrid::new(epoch(), 86_400.0, 120.0);
+        VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default())
+    }
+
+    #[test]
+    fn unconstrained_capacity_serves_all_demand() {
+        let vt = table(3);
+        let idx: Vec<usize> = (0..8).collect();
+        let a = assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 100 });
+        assert_eq!(a.service_ratio(), 1.0);
+        // Served equals union visibility per terminal.
+        for site in 0..3 {
+            assert_eq!(a.served[site], vt.coverage_union(&idx, site), "site {site}");
+        }
+    }
+
+    #[test]
+    fn capacity_one_limits_colocated_terminals() {
+        let vt = table(5);
+        let idx: Vec<usize> = (0..8).collect();
+        let a = assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 1 });
+        // Five colocated terminals share passes; with capacity 1 per sat
+        // not all demand can be met whenever fewer than 5 sats are up.
+        assert!(a.service_ratio() < 1.0, "ratio {}", a.service_ratio());
+        assert!(a.service_ratio() > 0.0);
+        assert_eq!(a.served_steps, a.load.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn service_monotone_in_capacity() {
+        let vt = table(5);
+        let idx: Vec<usize> = (0..8).collect();
+        let r1 = assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 1 }).served_steps;
+        let r2 = assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 2 }).served_steps;
+        let r4 = assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 4 }).served_steps;
+        assert!(r1 <= r2 && r2 <= r4, "{r1} {r2} {r4}");
+    }
+
+    #[test]
+    fn spare_capacity_accounting() {
+        let vt = table(2);
+        let idx: Vec<usize> = (0..8).collect();
+        let cfg = CapacityConfig { terminals_per_sat: 3 };
+        let a = assign_least_loaded(&vt, &idx, cfg);
+        let steps = vt.grid.steps;
+        let spare = a.spare_capacity_steps(steps);
+        let total = 3 * 8 * steps;
+        assert_eq!(spare + a.load.iter().sum::<usize>(), total);
+        // LEO sats over 2 terminals are mostly idle: spare dominates.
+        assert!(spare as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let vt = table(4);
+        let idx: Vec<usize> = (0..8).collect();
+        let a = assign_least_loaded(&vt, &idx, CapacityConfig::default());
+        let steps = vt.grid.steps;
+        for pos in 0..idx.len() {
+            let u = a.utilization(pos, steps);
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn party_report_partitions_load() {
+        let vt = table(4);
+        let idx: Vec<usize> = (0..8).collect();
+        let a = assign_least_loaded(&vt, &idx, CapacityConfig::default());
+        let owner: HashMap<usize, PartyId> =
+            (0..8).map(|s| (s, PartyId::new(if s % 2 == 0 { "even" } else { "odd" }))).collect();
+        let report = utilization_by_party(&a, vt.grid.steps, &owner);
+        assert_eq!(report.len(), 2);
+        let total: usize = report.iter().map(|r| r.carried_steps).sum();
+        assert_eq!(total, a.load.iter().sum::<usize>());
+    }
+}

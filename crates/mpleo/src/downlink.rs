@@ -1,0 +1,244 @@
+//! Ground-station downlink scheduling.
+//!
+//! The paper's lineage (Vasisht et al., HotNets '20; L2D2, SIGCOMM '21)
+//! treats satellite-to-ground scheduling as a first-class problem: many
+//! satellites accumulate data continuously, few ground stations exist, and
+//! each station can track one satellite at a time. In MP-LEO the problem is
+//! sharper still — the ground stations belong to *different parties* — so
+//! the scheduler is also the arbiter of whose bits land first. This module
+//! simulates backlog-driven downlink over a visibility table with pluggable
+//! arbitration policies and reports drain volume and data age.
+
+use leosim::visibility::VisibilityTable;
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy: which visible satellite does each station serve at a
+/// step?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DownlinkPolicy {
+    /// Serve the satellite with the largest backlog (throughput-greedy).
+    MaxBacklog,
+    /// Serve the satellite whose oldest bit is oldest (latency-greedy,
+    /// L2D2-flavored).
+    OldestData,
+    /// Fixed priority by subset order (the naive baseline).
+    FixedPriority,
+}
+
+/// Configuration of the downlink simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DownlinkConfig {
+    /// Data generated per satellite per step, bits.
+    pub arrival_bits_per_step: f64,
+    /// Drain rate per served (satellite, station) contact-step, bits.
+    pub drain_bits_per_step: f64,
+    /// Arbitration policy.
+    pub policy: DownlinkPolicy,
+}
+
+/// Result of the downlink simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DownlinkReport {
+    /// Bits drained per satellite.
+    pub drained_bits: Vec<f64>,
+    /// Final backlog per satellite, bits.
+    pub final_backlog_bits: Vec<f64>,
+    /// Peak total backlog across the run, bits.
+    pub peak_backlog_bits: f64,
+    /// Mean age of drained data, steps (age = steps between generation and
+    /// drain, FIFO within a satellite).
+    pub mean_drain_age_steps: f64,
+    /// Station busy fraction (served steps / station steps).
+    pub station_utilization: f64,
+}
+
+/// Simulate downlink over the table's grid. Sites in `vt` are the ground
+/// stations; `sat_indices` selects the satellites.
+pub fn simulate_downlink(
+    vt: &VisibilityTable,
+    sat_indices: &[usize],
+    config: &DownlinkConfig,
+) -> DownlinkReport {
+    let steps = vt.grid.steps;
+    let n = sat_indices.len();
+    let stations = vt.site_count();
+    // FIFO backlog per satellite: queue of (generation_step, bits).
+    let mut queues: Vec<std::collections::VecDeque<(usize, f64)>> =
+        vec![std::collections::VecDeque::new(); n];
+    let mut drained = vec![0.0f64; n];
+    let mut peak = 0.0f64;
+    let mut age_weighted = 0.0f64;
+    let mut age_bits = 0.0f64;
+    let mut served_station_steps = 0usize;
+
+    for k in 0..steps {
+        // Arrivals.
+        for q in queues.iter_mut() {
+            q.push_back((k, config.arrival_bits_per_step));
+        }
+        // Each station independently picks one visible satellite. A
+        // satellite may be served by several stations at once (multiple
+        // antennas on the ground segment; the satellite broadcasts).
+        for station in 0..stations {
+            let visible: Vec<usize> = (0..n)
+                .filter(|&i| vt.bitset(sat_indices[i], station).get(k))
+                .collect();
+            if visible.is_empty() {
+                continue;
+            }
+            let backlog = |i: usize| -> f64 { queues[i].iter().map(|(_, b)| b).sum() };
+            let pick = match config.policy {
+                DownlinkPolicy::MaxBacklog => visible
+                    .iter()
+                    .cloned()
+                    .max_by(|&a, &b| backlog(a).partial_cmp(&backlog(b)).unwrap())
+                    .unwrap(),
+                DownlinkPolicy::OldestData => visible
+                    .iter()
+                    .cloned()
+                    .min_by_key(|&i| queues[i].front().map(|(g, _)| *g).unwrap_or(usize::MAX))
+                    .unwrap(),
+                DownlinkPolicy::FixedPriority => visible[0],
+            };
+            served_station_steps += 1;
+            // Drain FIFO.
+            let mut budget = config.drain_bits_per_step;
+            while budget > 0.0 {
+                let Some((gen, bits)) = queues[pick].front_mut() else { break };
+                let take = bits.min(budget);
+                *bits -= take;
+                budget -= take;
+                drained[pick] += take;
+                age_weighted += take * (k - *gen) as f64;
+                age_bits += take;
+                if *bits <= 0.0 {
+                    queues[pick].pop_front();
+                }
+            }
+        }
+        let total: f64 = queues.iter().flat_map(|q| q.iter().map(|(_, b)| b)).sum();
+        peak = peak.max(total);
+    }
+    DownlinkReport {
+        final_backlog_bits: queues
+            .iter()
+            .map(|q| q.iter().map(|(_, b)| b).sum())
+            .collect(),
+        drained_bits: drained,
+        peak_backlog_bits: peak,
+        mean_drain_age_steps: if age_bits > 0.0 { age_weighted / age_bits } else { 0.0 },
+        station_utilization: if stations * steps > 0 {
+            served_station_steps as f64 / (stations * steps) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leosim::visibility::SimConfig;
+    use leosim::TimeGrid;
+    use orbital::constellation::single_plane;
+    use orbital::ground::GroundSite;
+    use orbital::time::Epoch;
+
+    fn table(n_sats: u32, n_gs: usize) -> VisibilityTable {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let sats = single_plane(n_sats, 550.0, 53.0, epoch);
+        let gs: Vec<GroundSite> = (0..n_gs)
+            .map(|k| GroundSite::from_degrees(format!("GS{k}"), 25.0 + 10.0 * k as f64, 121.0 - 30.0 * k as f64))
+            .collect();
+        let grid = TimeGrid::new(epoch, 86_400.0, 60.0);
+        VisibilityTable::compute(&sats, &gs, &grid, &SimConfig::default().with_mask_deg(10.0))
+    }
+
+    fn cfg(policy: DownlinkPolicy) -> DownlinkConfig {
+        DownlinkConfig {
+            arrival_bits_per_step: 1.0e6,
+            drain_bits_per_step: 40.0e6,
+            policy,
+        }
+    }
+
+    #[test]
+    fn conservation_of_bits() {
+        let vt = table(6, 2);
+        let idx: Vec<usize> = (0..6).collect();
+        let r = simulate_downlink(&vt, &idx, &cfg(DownlinkPolicy::MaxBacklog));
+        let generated = 6.0 * vt.grid.steps as f64 * 1.0e6;
+        let accounted: f64 = r.drained_bits.iter().sum::<f64>() + r.final_backlog_bits.iter().sum::<f64>();
+        assert!((generated - accounted).abs() / generated < 1e-9, "{generated} vs {accounted}");
+    }
+
+    #[test]
+    fn drains_happen_only_during_contacts() {
+        // With zero ground stations nothing drains.
+        let vt = table(4, 2);
+        let idx: Vec<usize> = (0..4).collect();
+        // Trick: a config with zero drain shows pure accumulation.
+        let r = simulate_downlink(&vt, &idx, &DownlinkConfig {
+            arrival_bits_per_step: 1.0,
+            drain_bits_per_step: 0.0,
+            policy: DownlinkPolicy::MaxBacklog,
+        });
+        assert!(r.drained_bits.iter().all(|&d| d == 0.0));
+        assert!((r.peak_backlog_bits - 4.0 * vt.grid.steps as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oldest_data_policy_minimizes_age() {
+        let vt = table(8, 2);
+        let idx: Vec<usize> = (0..8).collect();
+        let old = simulate_downlink(&vt, &idx, &cfg(DownlinkPolicy::OldestData));
+        let fixed = simulate_downlink(&vt, &idx, &cfg(DownlinkPolicy::FixedPriority));
+        assert!(
+            old.mean_drain_age_steps <= fixed.mean_drain_age_steps + 1e-9,
+            "oldest-first {} vs fixed {}",
+            old.mean_drain_age_steps,
+            fixed.mean_drain_age_steps
+        );
+    }
+
+    #[test]
+    fn fixed_priority_starves_late_satellites() {
+        let vt = table(8, 1);
+        let idx: Vec<usize> = (0..8).collect();
+        let r = simulate_downlink(&vt, &idx, &cfg(DownlinkPolicy::FixedPriority));
+        // The first satellites drain far more than the last under a single
+        // contended station.
+        let first = r.drained_bits[0];
+        let last = r.drained_bits[7];
+        assert!(first > 0.0);
+        // Starvation shows as backlog imbalance or drain imbalance.
+        let max_backlog = r.final_backlog_bits.iter().cloned().fold(0.0f64, f64::max);
+        let min_backlog = r.final_backlog_bits.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            first > last || max_backlog > 2.0 * min_backlog.max(1.0),
+            "no starvation signature: first {first} last {last}"
+        );
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let vt = table(6, 2);
+        let idx: Vec<usize> = (0..6).collect();
+        let r = simulate_downlink(&vt, &idx, &cfg(DownlinkPolicy::MaxBacklog));
+        assert!((0.0..=1.0).contains(&r.station_utilization));
+        assert!(r.station_utilization > 0.0, "stations see satellites sometimes");
+    }
+
+    #[test]
+    fn more_stations_drain_more() {
+        let vt1 = table(8, 1);
+        let vt3 = table(8, 3);
+        let idx: Vec<usize> = (0..8).collect();
+        let r1 = simulate_downlink(&vt1, &idx, &cfg(DownlinkPolicy::MaxBacklog));
+        let r3 = simulate_downlink(&vt3, &idx, &cfg(DownlinkPolicy::MaxBacklog));
+        assert!(
+            r3.drained_bits.iter().sum::<f64>() >= r1.drained_bits.iter().sum::<f64>(),
+            "adding stations cannot reduce drain"
+        );
+    }
+}

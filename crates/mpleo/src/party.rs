@@ -1,0 +1,184 @@
+//! Parties and stake-based satellite allocation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a participating party.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PartyId(pub String);
+
+impl PartyId {
+    /// Construct from anything string-like.
+    pub fn new(id: impl Into<String>) -> Self {
+        PartyId(id.into())
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for PartyId {
+    fn from(s: &str) -> Self {
+        PartyId(s.to_string())
+    }
+}
+
+/// What kind of participant a party is (the paper envisions both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartyKind {
+    /// A nation state securing sovereign access.
+    Country,
+    /// A private company (e.g. a terrestrial ISP entering the market).
+    Company,
+}
+
+/// A participant in an MP-LEO constellation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Party {
+    /// Identifier.
+    pub id: PartyId,
+    /// Kind of participant.
+    pub kind: PartyKind,
+    /// Indices (into the constellation satellite list) this party
+    /// contributed.
+    pub satellites: Vec<usize>,
+}
+
+impl Party {
+    /// Number of satellites contributed.
+    pub fn stake(&self) -> usize {
+        self.satellites.len()
+    }
+}
+
+/// Allocate `total` satellites across parties in proportion to `ratios`,
+/// assigning any remainder (from rounding) one satellite at a time to the
+/// parties with the largest fractional parts (largest-remainder method).
+///
+/// Returns per-party contiguous *counts*; pair with
+/// [`crate::registry::ConstellationRegistry::from_counts`] to materialize
+/// parties. The Fig. 6 experiment uses ratios `[r, 1, 1, ..., 1]` with 11
+/// parties over 1000 satellites.
+pub fn allocate_by_ratio(total: usize, ratios: &[f64]) -> Vec<usize> {
+    assert!(!ratios.is_empty(), "need at least one party");
+    assert!(ratios.iter().all(|&r| r > 0.0), "ratios must be positive");
+    let sum: f64 = ratios.iter().sum();
+    let exact: Vec<f64> = ratios.iter().map(|r| r / sum * total as f64).collect();
+    let mut counts: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();
+    let mut assigned: usize = counts.iter().sum();
+    // Largest remainders get the leftovers.
+    let mut order: Vec<usize> = (0..ratios.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap()
+    });
+    let mut k = 0;
+    while assigned < total {
+        counts[order[k % order.len()]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    counts
+}
+
+/// The Fig. 6 stake pattern: one party with ratio `r`, `others` parties with
+/// ratio 1.
+pub fn skewed_ratios(r: f64, others: usize) -> Vec<f64> {
+    let mut v = vec![r];
+    v.extend(std::iter::repeat_n(1.0, others));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocation() {
+        // 1000 sats, 11 equal parties: paper says "91 satellites each"
+        // (10 * 91 + 90 = 1000 with largest-remainder).
+        let counts = allocate_by_ratio(1000, &skewed_ratios(1.0, 10));
+        assert_eq!(counts.len(), 11);
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        for &c in &counts {
+            assert!(c == 90 || c == 91, "count {c}");
+        }
+        assert_eq!(counts.iter().filter(|&&c| c == 91).count(), 10);
+    }
+
+    #[test]
+    fn skewed_allocation() {
+        // 10:1:...:1 over 1000 with 11 parties: largest gets 500, others 50.
+        let counts = allocate_by_ratio(1000, &skewed_ratios(10.0, 10));
+        assert_eq!(counts[0], 500);
+        for &c in &counts[1..] {
+            assert_eq!(c, 50);
+        }
+    }
+
+    #[test]
+    fn conservation_for_awkward_ratios() {
+        for total in [7usize, 99, 1000, 1001] {
+            for ratios in [vec![1.0, 2.0, 3.0], vec![3.3, 1.7], skewed_ratios(7.5, 10)] {
+                let counts = allocate_by_ratio(total, &ratios);
+                assert_eq!(counts.iter().sum::<usize>(), total, "total {total} ratios {ratios:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_monotone_in_ratio() {
+        let counts = allocate_by_ratio(1000, &[5.0, 3.0, 1.0]);
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ratio_panics() {
+        allocate_by_ratio(10, &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn party_stake() {
+        let p = Party {
+            id: "taiwan".into(),
+            kind: PartyKind::Country,
+            satellites: vec![0, 5, 9],
+        };
+        assert_eq!(p.stake(), 3);
+        assert_eq!(p.id.to_string(), "taiwan");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn allocation_always_conserves(
+            total in 1usize..5000,
+            ratios in proptest::collection::vec(0.01f64..100.0, 1..20),
+        ) {
+            let counts = allocate_by_ratio(total, &ratios);
+            prop_assert_eq!(counts.len(), ratios.len());
+            prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        }
+
+        #[test]
+        fn allocation_tracks_ratios(
+            total in 100usize..5000,
+            r in 1.0f64..20.0,
+        ) {
+            let counts = allocate_by_ratio(total, &skewed_ratios(r, 4));
+            // The big party's share is within one satellite of exact.
+            let exact = r / (r + 4.0) * total as f64;
+            prop_assert!((counts[0] as f64 - exact).abs() <= 1.0);
+        }
+    }
+}

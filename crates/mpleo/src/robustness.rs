@@ -1,0 +1,199 @@
+//! Withdrawal robustness experiments (the paper's §3.4, Figs. 5 and 6).
+//!
+//! * [`withdrawal_loss`] — the coverage lost when a set of satellites denies
+//!   service, in population-weighted seconds and percent.
+//! * [`half_withdrawal_experiment`] — Fig. 5: withdraw a random half of an
+//!   L-satellite constellation, for L in {200, 500, 1000, 2000}.
+//! * [`skewed_withdrawal_experiment`] — Fig. 6: 1000 satellites split across
+//!   11 parties with stake ratio r:1:…:1; the largest party withdraws.
+
+use crate::party::skewed_ratios;
+use crate::placement::weighted_coverage_s;
+use crate::registry::ConstellationRegistry;
+use leosim::coverage::Aggregate;
+use leosim::montecarlo::{run_experiment, run_rng, sample_indices, sample_split};
+use leosim::visibility::VisibilityTable;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one withdrawal evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WithdrawalLoss {
+    /// Population-weighted coverage before withdrawal, seconds.
+    pub before_s: f64,
+    /// Population-weighted coverage after withdrawal, seconds.
+    pub after_s: f64,
+    /// Absolute loss, seconds.
+    pub loss_s: f64,
+    /// Loss as a percentage of the simulated horizon (the paper's Fig. 5/6
+    /// y-axis: "reduction in coverage").
+    pub loss_pct_of_horizon: f64,
+}
+
+/// Coverage loss when `withdrawn` satellites (indices into `vt`) stop
+/// serving, starting from the constellation `all`.
+pub fn withdrawal_loss(
+    vt: &VisibilityTable,
+    all: &[usize],
+    withdrawn: &[usize],
+    weights: &[f64],
+) -> WithdrawalLoss {
+    let withdrawn_set: std::collections::HashSet<usize> = withdrawn.iter().cloned().collect();
+    let remaining: Vec<usize> = all.iter().cloned().filter(|i| !withdrawn_set.contains(i)).collect();
+    let before_s = weighted_coverage_s(vt, all, weights);
+    let after_s = weighted_coverage_s(vt, &remaining, weights);
+    let horizon = vt.grid.duration_s().max(vt.grid.step_s);
+    let loss_s = before_s - after_s;
+    WithdrawalLoss {
+        before_s,
+        after_s,
+        loss_s,
+        loss_pct_of_horizon: 100.0 * loss_s / horizon,
+    }
+}
+
+/// Fig. 5 body: build a base constellation of `l` satellites sampled from
+/// the pool, withdraw a random half, and report the loss percentage.
+/// Repeated `runs` times with deterministic seeding.
+pub fn half_withdrawal_experiment(
+    vt_pool: &VisibilityTable,
+    l: usize,
+    weights: &[f64],
+    runs: usize,
+    seed: u64,
+) -> Aggregate {
+    let n = vt_pool.sat_count();
+    assert!(l <= n, "constellation {l} larger than pool {n}");
+    run_experiment(seed, runs, |rng, _| {
+        let base = sample_indices(rng, n, l);
+        let (withdrawn_pos, _) = sample_split(rng, l, l / 2);
+        let withdrawn: Vec<usize> = withdrawn_pos.iter().map(|&p| base[p]).collect();
+        withdrawal_loss(vt_pool, &base, &withdrawn, weights).loss_pct_of_horizon
+    })
+}
+
+/// Fig. 6 body: `total` satellites sampled from the pool are split across
+/// `1 + others` parties with stake ratio `r:1:…:1` (satellites interleaved
+/// randomly, the coverage-optimal arrangement); the largest party withdraws.
+pub fn skewed_withdrawal_experiment(
+    vt_pool: &VisibilityTable,
+    total: usize,
+    r: f64,
+    others: usize,
+    weights: &[f64],
+    runs: usize,
+    seed: u64,
+) -> Aggregate {
+    let n = vt_pool.sat_count();
+    assert!(total <= n, "constellation {total} larger than pool {n}");
+    run_experiment(seed, runs, |rng, run| {
+        let base = sample_indices(rng, n, total);
+        let mut reg_rng = run_rng(seed ^ 0xA5A5, run as u64);
+        let reg = ConstellationRegistry::from_ratios(
+            total,
+            &skewed_ratios(r, others),
+            crate::party::PartyKind::Country,
+            Some(&mut reg_rng),
+        );
+        let largest = reg.largest_party();
+        let withdrawn: Vec<usize> = largest.satellites.iter().map(|&p| base[p]).collect();
+        withdrawal_loss(vt_pool, &base, &withdrawn, weights).loss_pct_of_horizon
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leosim::visibility::SimConfig;
+    use leosim::TimeGrid;
+    use orbital::constellation::{walker_delta, ShellSpec};
+    use orbital::ground::GroundSite;
+    use orbital::time::Epoch;
+
+    fn epoch() -> Epoch {
+        Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+    }
+
+    fn pool_table(planes: u32, per_plane: u32, mask_deg: f64) -> (VisibilityTable, Vec<f64>) {
+        let spec = ShellSpec {
+            planes,
+            sats_per_plane: per_plane,
+            ..ShellSpec::starlink_like()
+        };
+        let sats = walker_delta(&spec, epoch());
+        let sites = vec![
+            GroundSite::from_degrees("Tokyo", 35.69, 139.69),
+            GroundSite::from_degrees("SaoPaulo", -23.55, -46.63),
+            GroundSite::from_degrees("NewYork", 40.71, -74.01),
+        ];
+        let weights = vec![0.5, 0.25, 0.25];
+        let grid = TimeGrid::new(epoch(), 86_400.0, 120.0);
+        let cfg = SimConfig::default().with_mask_deg(mask_deg);
+        (VisibilityTable::compute(&sats, &sites, &grid, &cfg), weights)
+    }
+
+    #[test]
+    fn loss_fields_consistent() {
+        let (vt, w) = pool_table(8, 8, 25.0);
+        let all: Vec<usize> = (0..64).collect();
+        let withdrawn: Vec<usize> = (0..32).collect();
+        let loss = withdrawal_loss(&vt, &all, &withdrawn, &w);
+        assert!(loss.before_s >= loss.after_s);
+        assert!((loss.loss_s - (loss.before_s - loss.after_s)).abs() < 1e-9);
+        assert!(loss.loss_pct_of_horizon >= 0.0);
+    }
+
+    #[test]
+    fn withdrawing_nothing_loses_nothing() {
+        let (vt, w) = pool_table(4, 4, 25.0);
+        let all: Vec<usize> = (0..16).collect();
+        let loss = withdrawal_loss(&vt, &all, &[], &w);
+        assert_eq!(loss.loss_s, 0.0);
+    }
+
+    #[test]
+    fn withdrawing_everything_loses_everything() {
+        let (vt, w) = pool_table(4, 4, 25.0);
+        let all: Vec<usize> = (0..16).collect();
+        let loss = withdrawal_loss(&vt, &all, &all, &w);
+        assert!((loss.after_s - 0.0).abs() < 1e-9);
+        assert!((loss.loss_s - loss.before_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_constellations_lose_less_fig5_shape() {
+        // Fig. 5: percentage loss from withdrawing half shrinks as the
+        // constellation grows.
+        let (vt, w) = pool_table(16, 10, 5.0); // pool of 160, low mask -> saturating coverage
+        let small = half_withdrawal_experiment(&vt, 20, &w, 10, 42);
+        let large = half_withdrawal_experiment(&vt, 140, &w, 10, 42);
+        assert!(
+            small.mean > large.mean,
+            "L=20 loss {}% vs L=140 loss {}%",
+            small.mean,
+            large.mean
+        );
+    }
+
+    #[test]
+    fn skew_increases_loss_fig6_shape() {
+        // Fig. 6: the more skewed the stakes, the larger the loss when the
+        // largest party leaves.
+        let (vt, w) = pool_table(16, 10, 5.0);
+        let equal = skewed_withdrawal_experiment(&vt, 110, 1.0, 10, &w, 10, 7);
+        let skewed = skewed_withdrawal_experiment(&vt, 110, 10.0, 10, &w, 10, 7);
+        assert!(
+            skewed.mean > equal.mean,
+            "equal {}% vs 10:1 {}%",
+            equal.mean,
+            skewed.mean
+        );
+    }
+
+    #[test]
+    fn experiments_reproducible() {
+        let (vt, w) = pool_table(8, 8, 25.0);
+        let a = half_withdrawal_experiment(&vt, 30, &w, 5, 99);
+        let b = half_withdrawal_experiment(&vt, 30, &w, 5, 99);
+        assert_eq!(a.mean, b.mean);
+    }
+}

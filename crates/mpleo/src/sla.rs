@@ -1,0 +1,191 @@
+//! Service-level tiers: what quality-of-service a constellation can sell.
+//!
+//! The paper's §4 market questions include "What kinds of quality-of-service
+//! can they provide?". A constellation's sellable SLA is set by its
+//! coverage distribution: availability, worst continuous outage, and outage
+//! frequency. This module classifies a coverage bitset into industry-shaped
+//! tiers (real-time, interactive, best-effort, delay-tolerant) and prices
+//! the achievable tier under a simple premium schedule.
+
+use leosim::coverage::CoverageStats;
+use serde::Serialize;
+
+/// A service tier with its admission requirements.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SlaTier {
+    /// Tier name.
+    pub name: &'static str,
+    /// Minimum availability fraction.
+    pub min_availability: f64,
+    /// Maximum tolerated continuous outage, seconds.
+    pub max_outage_s: f64,
+    /// Price multiplier relative to best-effort.
+    pub price_multiplier: f64,
+}
+
+/// The built-in tier ladder, strictest first.
+pub fn standard_tiers() -> Vec<SlaTier> {
+    vec![
+        SlaTier {
+            name: "real-time",
+            min_availability: 0.999,
+            max_outage_s: 10.0 * 60.0,
+            price_multiplier: 4.0,
+        },
+        SlaTier {
+            name: "interactive",
+            min_availability: 0.99,
+            max_outage_s: 30.0 * 60.0,
+            price_multiplier: 2.5,
+        },
+        SlaTier {
+            name: "best-effort",
+            min_availability: 0.9,
+            max_outage_s: 2.0 * 3600.0,
+            price_multiplier: 1.0,
+        },
+        SlaTier {
+            name: "delay-tolerant",
+            min_availability: 0.0,
+            max_outage_s: f64::INFINITY,
+            price_multiplier: 0.25,
+        },
+    ]
+}
+
+/// Pick the strictest tier the measured coverage satisfies.
+pub fn classify(stats: &CoverageStats, tiers: &[SlaTier]) -> SlaTier {
+    tiers
+        .iter()
+        .find(|t| stats.covered_fraction >= t.min_availability && stats.max_gap_s <= t.max_outage_s)
+        .cloned()
+        .unwrap_or_else(|| tiers.last().expect("tier ladder non-empty").clone())
+}
+
+/// An SLA quote: the achievable tier plus headroom diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SlaQuote {
+    /// The tier granted.
+    pub tier: SlaTier,
+    /// Measured availability.
+    pub availability: f64,
+    /// Measured worst outage, seconds.
+    pub worst_outage_s: f64,
+    /// Availability shortfall to the next stricter tier (None at the top).
+    pub next_tier_gap: Option<f64>,
+}
+
+/// Quote the SLA for a coverage measurement.
+pub fn quote(stats: &CoverageStats) -> SlaQuote {
+    let tiers = standard_tiers();
+    let tier = classify(stats, &tiers);
+    let pos = tiers.iter().position(|t| t.name == tier.name).expect("tier from ladder");
+    let next_tier_gap = if pos == 0 {
+        None
+    } else {
+        Some((tiers[pos - 1].min_availability - stats.covered_fraction).max(0.0))
+    };
+    SlaQuote {
+        tier,
+        availability: stats.covered_fraction,
+        worst_outage_s: stats.max_gap_s,
+        next_tier_gap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leosim::{TimeBitset, TimeGrid};
+    use orbital::time::Epoch;
+
+    fn grid(steps: usize) -> TimeGrid {
+        TimeGrid::new(
+            Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0),
+            (steps - 1) as f64 * 60.0,
+            60.0,
+        )
+    }
+
+    fn stats_for(covered: &TimeBitset, g: &TimeGrid) -> CoverageStats {
+        CoverageStats::from_bitset(covered, g)
+    }
+
+    #[test]
+    fn full_coverage_is_realtime() {
+        let g = grid(1000);
+        let s = stats_for(&TimeBitset::ones(1000), &g);
+        let q = quote(&s);
+        assert_eq!(q.tier.name, "real-time");
+        assert!(q.next_tier_gap.is_none());
+        assert_eq!(q.worst_outage_s, 0.0);
+    }
+
+    #[test]
+    fn high_availability_but_long_gap_demoted() {
+        // 99.95% availability but one 3-hour gap: not even best-effort's
+        // 2 h outage bound -> delay-tolerant.
+        let g = grid(400_000);
+        let mut b = TimeBitset::ones(400_000);
+        for k in 1000..1180 {
+            b.clear(k); // 180 min gap
+        }
+        let s = stats_for(&b, &g);
+        assert!(s.covered_fraction > 0.999);
+        let q = quote(&s);
+        assert_eq!(q.tier.name, "delay-tolerant", "long outage dominates availability");
+    }
+
+    #[test]
+    fn tier_ladder_monotone() {
+        let tiers = standard_tiers();
+        for w in tiers.windows(2) {
+            assert!(w[0].min_availability >= w[1].min_availability);
+            assert!(w[0].max_outage_s <= w[1].max_outage_s);
+            assert!(w[0].price_multiplier >= w[1].price_multiplier);
+        }
+    }
+
+    #[test]
+    fn sparse_coverage_is_delay_tolerant() {
+        let g = grid(1000);
+        let mut b = TimeBitset::zeros(1000);
+        for k in (0..1000).step_by(50) {
+            b.set(k);
+        }
+        let q = quote(&stats_for(&b, &g));
+        assert_eq!(q.tier.name, "delay-tolerant");
+        assert_eq!(q.tier.price_multiplier, 0.25);
+    }
+
+    #[test]
+    fn interactive_band() {
+        // 99.2% availability with 20-minute worst gaps -> interactive.
+        let g = grid(10_000);
+        let mut b = TimeBitset::ones(10_000);
+        for gap_start in [1000usize, 4000, 7000] {
+            for k in gap_start..gap_start + 20 {
+                b.clear(k);
+            }
+        }
+        let s = stats_for(&b, &g);
+        assert!(s.covered_fraction > 0.99 && s.covered_fraction < 0.999);
+        let q = quote(&s);
+        assert_eq!(q.tier.name, "interactive");
+        let gap = q.next_tier_gap.unwrap();
+        assert!(gap > 0.0, "needs more availability for real-time");
+    }
+
+    #[test]
+    fn classify_against_custom_ladder() {
+        let custom = vec![SlaTier {
+            name: "only",
+            min_availability: 0.0,
+            max_outage_s: f64::INFINITY,
+            price_multiplier: 1.0,
+        }];
+        let g = grid(100);
+        let t = classify(&stats_for(&TimeBitset::zeros(100), &g), &custom);
+        assert_eq!(t.name, "only");
+    }
+}

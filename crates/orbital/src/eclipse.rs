@@ -1,0 +1,176 @@
+//! Sun geometry and eclipse prediction.
+//!
+//! A LEO satellite spends roughly a third of each orbit in Earth's shadow;
+//! power budgets (and therefore sellable transponder time) follow the
+//! sunlit fraction. This module provides a low-precision solar ephemeris
+//! (Meeus-style, arcminute accuracy — far more than shadow geometry needs)
+//! and the standard cylindrical-shadow eclipse test.
+
+use crate::math::Vec3;
+use crate::propagator::Propagator;
+use crate::time::Epoch;
+
+/// Astronomical unit, km.
+pub const AU_KM: f64 = 149_597_870.7;
+
+/// Low-precision solar position in the ECI (TEME-adjacent) frame, km.
+///
+/// Truncated Meeus: mean longitude + equation-of-center, rotated by the
+/// mean obliquity. Good to ~0.01 deg over the decades around J2000.
+pub fn sun_position_eci(epoch: Epoch) -> Vec3 {
+    let t = epoch.centuries_since_j2000();
+    // Mean longitude and mean anomaly of the Sun, degrees.
+    let l0 = 280.460 + 36000.771 * t;
+    let m = (357.5291 + 35999.0503 * t).to_radians();
+    // Ecliptic longitude with the equation of center.
+    let lambda = (l0 + 1.914_6 * m.sin() + 0.019_9 * (2.0 * m).sin()).to_radians();
+    // Distance in AU.
+    let r_au = 1.000_140 - 0.016_708 * m.cos() - 0.000_139 * (2.0 * m).cos();
+    // Mean obliquity of the ecliptic.
+    let eps = (23.439_291 - 0.013_004_2 * t).to_radians();
+    let r = r_au * AU_KM;
+    Vec3::new(
+        r * lambda.cos(),
+        r * lambda.sin() * eps.cos(),
+        r * lambda.sin() * eps.sin(),
+    )
+}
+
+/// Is an ECI position inside Earth's cylindrical shadow at `epoch`?
+///
+/// The cylinder model ignores penumbra (a few seconds of transition for
+/// LEO) — standard for power analysis.
+pub fn in_shadow(position_eci: Vec3, epoch: Epoch) -> bool {
+    let sun = sun_position_eci(epoch).normalized();
+    // Component of the position along the anti-sun axis.
+    let along = position_eci.dot(-sun);
+    if along <= 0.0 {
+        return false; // on the day side
+    }
+    // Distance from the shadow axis.
+    let radial = (position_eci + sun * along).norm();
+    radial < crate::EARTH_RADIUS_KM
+}
+
+/// Fraction of the window `[start, start+duration]` a satellite spends in
+/// sunlight, sampled every `step_s`.
+pub fn sunlit_fraction(
+    propagator: &dyn Propagator,
+    start: Epoch,
+    duration_s: f64,
+    step_s: f64,
+) -> f64 {
+    assert!(step_s > 0.0 && duration_s > 0.0);
+    let steps = (duration_s / step_s).ceil() as usize;
+    let mut sunlit = 0usize;
+    for k in 0..steps {
+        let t = start.plus_seconds(k as f64 * step_s);
+        if !in_shadow(propagator.position_at(t), t) {
+            sunlit += 1;
+        }
+    }
+    sunlit as f64 / steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kepler::ClassicalElements;
+    use crate::math::deg_to_rad;
+    use crate::propagator::KeplerJ2;
+
+    fn epoch() -> Epoch {
+        Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+    }
+
+    #[test]
+    fn sun_distance_is_one_au() {
+        for month in [1u32, 4, 7, 10] {
+            let e = Epoch::from_ymdhms(2024, month, 15, 0, 0, 0.0);
+            let d = sun_position_eci(e).norm() / AU_KM;
+            assert!((0.975..1.025).contains(&d), "month {month}: {d} AU");
+        }
+    }
+
+    #[test]
+    fn earth_orbit_eccentricity_signature() {
+        // Perihelion in January, aphelion in July.
+        let jan = sun_position_eci(Epoch::from_ymdhms(2024, 1, 3, 0, 0, 0.0)).norm();
+        let jul = sun_position_eci(Epoch::from_ymdhms(2024, 7, 4, 0, 0, 0.0)).norm();
+        assert!(jan < jul, "perihelion {jan} < aphelion {jul}");
+    }
+
+    #[test]
+    fn june_solstice_declination() {
+        // Near the June solstice the Sun sits ~23.4 deg north.
+        let e = Epoch::from_ymdhms(2024, 6, 20, 12, 0, 0.0);
+        let s = sun_position_eci(e);
+        let dec = (s.z / s.norm()).asin().to_degrees();
+        assert!((dec - 23.4).abs() < 0.3, "declination {dec}");
+    }
+
+    #[test]
+    fn shadow_is_antisolar() {
+        let e = epoch();
+        let sun_dir = sun_position_eci(e).normalized();
+        // A LEO point directly behind Earth is in shadow...
+        assert!(in_shadow(-sun_dir * 7000.0, e));
+        // ...the sub-solar point is not...
+        assert!(!in_shadow(sun_dir * 7000.0, e));
+        // ...and a point far off-axis is sunlit even behind Earth.
+        let off_axis = (-sun_dir * 7000.0) + orthogonal(sun_dir) * 9000.0;
+        assert!(!in_shadow(off_axis, e));
+    }
+
+    fn orthogonal(v: Vec3) -> Vec3 {
+        let cand = if v.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+        v.cross(cand).normalized()
+    }
+
+    #[test]
+    fn leo_sunlit_fraction_typical() {
+        // A 53-degree LEO orbit is sunlit ~55-75% of each orbit.
+        let el = ClassicalElements::circular(550.0, deg_to_rad(53.0), 0.0, 0.0);
+        let p = KeplerJ2::from_elements(&el, epoch());
+        let f = sunlit_fraction(&p, epoch(), el.period_s(), 10.0);
+        assert!((0.5..0.85).contains(&f), "sunlit fraction {f}");
+    }
+
+    #[test]
+    fn dawn_dusk_orbit_mostly_sunlit() {
+        // A sun-synchronous dawn-dusk plane (RAAN ~90 deg from the Sun)
+        // rides the terminator and stays sunlit far longer than a noon
+        // plane. Construct both and compare.
+        let e = epoch();
+        let sun = sun_position_eci(e);
+        let sun_ra = sun.y.atan2(sun.x);
+        let noon = ClassicalElements::circular(550.0, deg_to_rad(97.6), sun_ra, 0.0);
+        let dawn_dusk = ClassicalElements::circular(
+            550.0,
+            deg_to_rad(97.6),
+            sun_ra + std::f64::consts::FRAC_PI_2,
+            0.0,
+        );
+        let f_noon = sunlit_fraction(&KeplerJ2::from_elements(&noon, e), e, noon.period_s(), 10.0);
+        let f_dd = sunlit_fraction(
+            &KeplerJ2::from_elements(&dawn_dusk, e),
+            e,
+            dawn_dusk.period_s(),
+            10.0,
+        );
+        assert!(f_dd > f_noon, "dawn-dusk {f_dd} vs noon {f_noon}");
+        // June's +23 deg solar declination keeps the plane normal from
+        // pointing exactly at the Sun, so "mostly" rather than "always".
+        assert!(f_dd > 0.75, "dawn-dusk orbits are mostly sunlit: {f_dd}");
+    }
+
+    #[test]
+    fn eclipse_duration_minutes_scale() {
+        // Shadow crossings for a 550 km orbit last roughly 20-40 minutes.
+        let el = ClassicalElements::circular(550.0, deg_to_rad(53.0), 0.0, 0.0);
+        let p = KeplerJ2::from_elements(&el, epoch());
+        let period = el.period_s();
+        let dark = (1.0 - sunlit_fraction(&p, epoch(), period, 5.0)) * period / 60.0;
+        assert!((15.0..45.0).contains(&dark), "eclipse {dark} min per orbit");
+    }
+}

@@ -1,0 +1,612 @@
+//! SGP4 near-Earth propagator, implemented from Spacetrack Report #3 with
+//! the Vallado et al. (2006) corrections.
+//!
+//! SGP4 is the de-facto standard model for propagating TLE mean elements.
+//! This implementation covers the near-Earth branch (orbital period
+//! < 225 minutes), which is all LEO work needs; deep-space (SDP4) orbits are
+//! rejected at construction time.
+//!
+//! Outputs are in the TEME frame (km, km/s), matching what
+//! [`crate::frames::eci_to_ecef`] expects.
+
+use crate::earth::{SGP4_EARTH_RADIUS_KM, SGP4_J2, SGP4_J3, SGP4_J4, SGP4_XKE};
+use crate::math::{wrap_two_pi, Vec3};
+use crate::propagator::{Propagator, StateVector};
+use crate::time::Epoch;
+use crate::tle::Tle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from SGP4 initialization or propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sgp4Error {
+    /// The orbit's period exceeds 225 minutes; the deep-space model (SDP4)
+    /// would be required.
+    DeepSpace,
+    /// Mean elements are outside the model's validity range.
+    InvalidElements(String),
+    /// The satellite has decayed (radius below Earth's surface) at the
+    /// requested time.
+    Decayed,
+}
+
+impl fmt::Display for Sgp4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sgp4Error::DeepSpace => write!(f, "orbit period > 225 min requires SDP4 (deep space)"),
+            Sgp4Error::InvalidElements(s) => write!(f, "invalid mean elements: {s}"),
+            Sgp4Error::Decayed => write!(f, "satellite decayed"),
+        }
+    }
+}
+
+impl std::error::Error for Sgp4Error {}
+
+/// The SGP4 propagator with all initialization-time constants precomputed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgp4 {
+    epoch: Epoch,
+    // Mean elements at epoch (TLE units converted to radians / rad-per-min).
+    ecco: f64,
+    inclo: f64,
+    nodeo: f64,
+    argpo: f64,
+    mo: f64,
+    no_unkozai: f64, // rad/min
+    bstar: f64,
+    // Derived constants.
+    isimp: bool,
+    aycof: f64,
+    con41: f64,
+    cc1: f64,
+    cc4: f64,
+    cc5: f64,
+    d2: f64,
+    d3: f64,
+    d4: f64,
+    delmo: f64,
+    eta: f64,
+    argpdot: f64,
+    omgcof: f64,
+    sinmao: f64,
+    t2cof: f64,
+    t3cof: f64,
+    t4cof: f64,
+    t5cof: f64,
+    x1mth2: f64,
+    x7thm1: f64,
+    mdot: f64,
+    nodedot: f64,
+    xlcof: f64,
+    xmcof: f64,
+    nodecf: f64,
+}
+
+impl Sgp4 {
+    /// Initialize from a parsed TLE.
+    pub fn from_tle(tle: &Tle) -> Result<Self, Sgp4Error> {
+        Self::new(
+            tle.epoch(),
+            tle.inclination_deg.to_radians(),
+            tle.raan_deg.to_radians(),
+            tle.eccentricity,
+            tle.arg_perigee_deg.to_radians(),
+            tle.mean_anomaly_deg.to_radians(),
+            tle.mean_motion_revs_day * std::f64::consts::TAU / 1440.0,
+            tle.bstar,
+        )
+    }
+
+    /// Initialize from raw mean elements.
+    ///
+    /// Angles in radians; `no_kozai` is the Kozai mean motion in rad/min
+    /// (as encoded in a TLE); `bstar` in 1/earth-radii.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        epoch: Epoch,
+        inclo: f64,
+        nodeo: f64,
+        ecco: f64,
+        argpo: f64,
+        mo: f64,
+        no_kozai: f64,
+        bstar: f64,
+    ) -> Result<Self, Sgp4Error> {
+        if !(0.0..1.0).contains(&ecco) {
+            return Err(Sgp4Error::InvalidElements(format!("eccentricity {ecco}")));
+        }
+        if no_kozai <= 0.0 {
+            return Err(Sgp4Error::InvalidElements(format!("mean motion {no_kozai}")));
+        }
+
+        let j2 = SGP4_J2;
+        let j3 = SGP4_J3;
+        let j4 = SGP4_J4;
+        let j3oj2 = j3 / j2;
+        let xke = SGP4_XKE;
+
+        // --- Un-Kozai the mean motion ---------------------------------
+        let cosio = inclo.cos();
+        let cosio2 = cosio * cosio;
+        let eccsq = ecco * ecco;
+        let omeosq = 1.0 - eccsq;
+        let rteosq = omeosq.sqrt();
+        let con41 = 3.0 * cosio2 - 1.0;
+        let ak = (xke / no_kozai).powf(2.0 / 3.0);
+        let d1 = 0.75 * j2 * con41 / (rteosq * omeosq);
+        let del1 = d1 / (ak * ak);
+        let adel = ak * (1.0 - del1 * del1 - del1 * (1.0 / 3.0 + 134.0 * del1 * del1 / 81.0));
+        let del = d1 / (adel * adel);
+        let no_unkozai = no_kozai / (1.0 + del);
+
+        let ao = (xke / no_unkozai).powf(2.0 / 3.0);
+        let sinio = inclo.sin();
+        let po = ao * omeosq;
+        let con42 = 1.0 - 5.0 * cosio2;
+        let posq = po * po;
+        let rp = ao * (1.0 - ecco);
+
+        // Reject deep-space orbits (period >= 225 min).
+        if 2.0 * std::f64::consts::PI / no_unkozai >= 225.0 {
+            return Err(Sgp4Error::DeepSpace);
+        }
+
+        let isimp = rp < 220.0 / SGP4_EARTH_RADIUS_KM + 1.0;
+
+        // --- Atmospheric-drag fitting constants ------------------------
+        let mut sfour = 78.0 / SGP4_EARTH_RADIUS_KM + 1.0;
+        let mut qzms24 = ((120.0 - 78.0) / SGP4_EARTH_RADIUS_KM).powi(4);
+        let perige = (rp - 1.0) * SGP4_EARTH_RADIUS_KM;
+        if perige < 156.0 {
+            sfour = if perige < 98.0 { 20.0 } else { perige - 78.0 };
+            qzms24 = ((120.0 - sfour) / SGP4_EARTH_RADIUS_KM).powi(4);
+            sfour = sfour / SGP4_EARTH_RADIUS_KM + 1.0;
+        }
+
+        let pinvsq = 1.0 / posq;
+        let tsi = 1.0 / (ao - sfour);
+        let eta = ao * ecco * tsi;
+        let etasq = eta * eta;
+        let eeta = ecco * eta;
+        let psisq = (1.0 - etasq).abs();
+        let coef = qzms24 * tsi.powi(4);
+        let coef1 = coef / psisq.powf(3.5);
+        let cc2 = coef1
+            * no_unkozai
+            * (ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq))
+                + 0.375 * j2 * tsi / psisq
+                    * con41
+                    * (8.0 + 3.0 * etasq * (8.0 + etasq)));
+        let cc1 = bstar * cc2;
+        let mut cc3 = 0.0;
+        if ecco > 1.0e-4 {
+            cc3 = -2.0 * coef * tsi * j3oj2 * no_unkozai * sinio / ecco;
+        }
+        let x1mth2 = 1.0 - cosio2;
+        let cc4 = 2.0
+            * no_unkozai
+            * coef1
+            * ao
+            * omeosq
+            * (eta * (2.0 + 0.5 * etasq) + ecco * (0.5 + 2.0 * etasq)
+                - j2 * tsi / (ao * psisq)
+                    * (-3.0 * con41 * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta))
+                        + 0.75
+                            * x1mth2
+                            * (2.0 * etasq - eeta * (1.0 + etasq))
+                            * (2.0 * argpo).cos()));
+        let cc5 = 2.0 * coef1 * ao * omeosq * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+
+        let cosio4 = cosio2 * cosio2;
+        let temp1 = 1.5 * j2 * pinvsq * no_unkozai;
+        let temp2 = 0.5 * temp1 * j2 * pinvsq;
+        let temp3 = -0.46875 * j4 * pinvsq * pinvsq * no_unkozai;
+        let mdot = no_unkozai
+            + 0.5 * temp1 * rteosq * con41
+            + 0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
+        let argpdot = -0.5 * temp1 * con42
+            + 0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4)
+            + temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
+        let xhdot1 = -temp1 * cosio;
+        let nodedot = xhdot1
+            + (0.5 * temp2 * (4.0 - 19.0 * cosio2) + 2.0 * temp3 * (3.0 - 7.0 * cosio2)) * cosio;
+        let xpidot = argpdot + nodedot;
+        let omgcof = bstar * cc3 * argpo.cos();
+        let mut xmcof = 0.0;
+        if ecco > 1.0e-4 {
+            xmcof = -2.0 / 3.0 * coef * bstar / eeta;
+        }
+        let nodecf = 3.5 * omeosq * xhdot1 * cc1;
+        let t2cof = 1.5 * cc1;
+        // Avoid division by zero for inclo = 180 deg.
+        let xlcof = if (1.0 + cosio).abs() > 1.5e-12 {
+            -0.25 * j3oj2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio)
+        } else {
+            -0.25 * j3oj2 * sinio * (3.0 + 5.0 * cosio) / 1.5e-12
+        };
+        let aycof = -0.5 * j3oj2 * sinio;
+        let delmo = (1.0 + eta * mo.cos()).powi(3);
+        let sinmao = mo.sin();
+        let x7thm1 = 7.0 * cosio2 - 1.0;
+
+        let (mut d2, mut d3, mut d4) = (0.0, 0.0, 0.0);
+        let (mut t3cof, mut t4cof, mut t5cof) = (0.0, 0.0, 0.0);
+        if !isimp {
+            let cc1sq = cc1 * cc1;
+            d2 = 4.0 * ao * tsi * cc1sq;
+            let temp = d2 * tsi * cc1 / 3.0;
+            d3 = (17.0 * ao + sfour) * temp;
+            d4 = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * cc1;
+            t3cof = d2 + 2.0 * cc1sq;
+            t4cof = 0.25 * (3.0 * d3 + cc1 * (12.0 * d2 + 10.0 * cc1sq));
+            t5cof = 0.2
+                * (3.0 * d4 + 12.0 * cc1 * d3 + 6.0 * d2 * d2 + 15.0 * cc1sq * (2.0 * d2 + cc1sq));
+        }
+
+        let _ = xpidot;
+        Ok(Sgp4 {
+            epoch,
+            ecco,
+            inclo,
+            nodeo,
+            argpo,
+            mo,
+            no_unkozai,
+            bstar,
+            isimp,
+            aycof,
+            con41,
+            cc1,
+            cc4,
+            cc5,
+            d2,
+            d3,
+            d4,
+            delmo,
+            eta,
+            argpdot,
+            omgcof,
+            sinmao,
+            t2cof,
+            t3cof,
+            t4cof,
+            t5cof,
+            x1mth2,
+            x7thm1,
+            mdot,
+            nodedot,
+            xlcof,
+            xmcof,
+            nodecf,
+        })
+    }
+
+    /// Propagate to `tsince` minutes past the TLE epoch.
+    pub fn propagate_minutes(&self, tsince: f64) -> Result<StateVector, Sgp4Error> {
+        let x2o3 = 2.0 / 3.0;
+        let xke = SGP4_XKE;
+        let j2 = SGP4_J2;
+        let vkmpersec = SGP4_EARTH_RADIUS_KM * xke / 60.0;
+
+        // --- Secular gravity and atmospheric drag ----------------------
+        let xmdf = self.mo + self.mdot * tsince;
+        let argpdf = self.argpo + self.argpdot * tsince;
+        let nodedf = self.nodeo + self.nodedot * tsince;
+        let mut argpm = argpdf;
+        let mut mm = xmdf;
+        let t2 = tsince * tsince;
+        let nodem = nodedf + self.nodecf * t2;
+        let mut tempa = 1.0 - self.cc1 * tsince;
+        let mut tempe = self.bstar * self.cc4 * tsince;
+        let mut templ = self.t2cof * t2;
+
+        if !self.isimp {
+            let delomg = self.omgcof * tsince;
+            let delmtemp = 1.0 + self.eta * xmdf.cos();
+            let delm = self.xmcof * (delmtemp * delmtemp * delmtemp - self.delmo);
+            let temp = delomg + delm;
+            mm = xmdf + temp;
+            argpm = argpdf - temp;
+            let t3 = t2 * tsince;
+            let t4 = t3 * tsince;
+            tempa = tempa - self.d2 * t2 - self.d3 * t3 - self.d4 * t4;
+            tempe += self.bstar * self.cc5 * (mm.sin() - self.sinmao);
+            templ = templ + self.t3cof * t3 + t4 * (self.t4cof + tsince * self.t5cof);
+        }
+
+        let nm = self.no_unkozai;
+        let mut em = self.ecco;
+        let inclm = self.inclo;
+
+        let am = ((xke / nm).powf(x2o3)) * tempa * tempa;
+        let nm = xke / am.powf(1.5);
+        em -= tempe;
+        if !(-0.001..1.0).contains(&em) {
+            return Err(Sgp4Error::InvalidElements(format!("eccentricity drifted to {em}")));
+        }
+        if em < 1.0e-6 {
+            em = 1.0e-6;
+        }
+        let mm = mm + self.no_unkozai * templ;
+        let xlm = mm + argpm + nodem;
+        let nodem = wrap_two_pi(nodem);
+        let argpm = wrap_two_pi(argpm);
+        let xlm = wrap_two_pi(xlm);
+        let mm = wrap_two_pi(xlm - argpm - nodem);
+
+        // --- Long-period periodics -------------------------------------
+        let sinim = inclm.sin();
+        let cosim = inclm.cos();
+        let ep = em;
+        let xincp = inclm;
+        let argpp = argpm;
+        let nodep = nodem;
+        let mp = mm;
+        let sinip = sinim;
+        let cosip = cosim;
+
+        let axnl = ep * argpp.cos();
+        let temp = 1.0 / (am * (1.0 - ep * ep));
+        let aynl = ep * argpp.sin() + temp * self.aycof;
+        let xl = mp + argpp + nodep + temp * self.xlcof * axnl;
+
+        // --- Solve Kepler's equation ------------------------------------
+        let u = wrap_two_pi(xl - nodep);
+        let mut eo1 = u;
+        let mut tem5: f64 = 9999.9;
+        let mut ktr = 1;
+        let (mut sineo1, mut coseo1) = eo1.sin_cos();
+        while tem5.abs() >= 1.0e-12 && ktr <= 10 {
+            (sineo1, coseo1) = eo1.sin_cos();
+            tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl;
+            tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5;
+            if tem5.abs() >= 0.95 {
+                tem5 = 0.95 * tem5.signum();
+            }
+            eo1 += tem5;
+            ktr += 1;
+        }
+
+        // --- Short-period periodics -------------------------------------
+        let ecose = axnl * coseo1 + aynl * sineo1;
+        let esine = axnl * sineo1 - aynl * coseo1;
+        let el2 = axnl * axnl + aynl * aynl;
+        let pl = am * (1.0 - el2);
+        if pl < 0.0 {
+            return Err(Sgp4Error::InvalidElements("semi-latus rectum < 0".into()));
+        }
+        let rl = am * (1.0 - ecose);
+        let rdotl = am.sqrt() * esine / rl;
+        let rvdotl = pl.sqrt() / rl;
+        let betal = (1.0 - el2).sqrt();
+        let temp = esine / (1.0 + betal);
+        let sinu = am / rl * (sineo1 - aynl - axnl * temp);
+        let cosu = am / rl * (coseo1 - axnl + aynl * temp);
+        let su = sinu.atan2(cosu);
+        let sin2u = (cosu + cosu) * sinu;
+        let cos2u = 1.0 - 2.0 * sinu * sinu;
+        let temp = 1.0 / pl;
+        let temp1 = 0.5 * j2 * temp;
+        let temp2 = temp1 * temp;
+
+        let cosisq = cosip * cosip;
+        let con41 = self.con41;
+        let x1mth2 = self.x1mth2;
+        let x7thm1 = self.x7thm1;
+        let mrt = rl * (1.0 - 1.5 * temp2 * betal * con41) + 0.5 * temp1 * x1mth2 * cos2u;
+        let su = su - 0.25 * temp2 * x7thm1 * sin2u;
+        let xnode = nodep + 1.5 * temp2 * cosip * sin2u;
+        let xinc = xincp + 1.5 * temp2 * cosip * sinip * cos2u;
+        let mvt = rdotl - nm * temp1 * x1mth2 * sin2u / xke;
+        let rvdot = rvdotl + nm * temp1 * (x1mth2 * cos2u + 1.5 * con41) / xke;
+        let _ = cosisq;
+
+        // --- Orientation vectors ----------------------------------------
+        let (sinsu, cossu) = su.sin_cos();
+        let (snod, cnod) = xnode.sin_cos();
+        let (sini, cosi) = xinc.sin_cos();
+        let xmx = -snod * cosi;
+        let xmy = cnod * cosi;
+        let ux = xmx * sinsu + cnod * cossu;
+        let uy = xmy * sinsu + snod * cossu;
+        let uz = sini * sinsu;
+        let vx = xmx * cossu - cnod * sinsu;
+        let vy = xmy * cossu - snod * sinsu;
+        let vz = sini * cossu;
+
+        let position = Vec3::new(
+            mrt * ux * SGP4_EARTH_RADIUS_KM,
+            mrt * uy * SGP4_EARTH_RADIUS_KM,
+            mrt * uz * SGP4_EARTH_RADIUS_KM,
+        );
+        let velocity = Vec3::new(
+            (mvt * ux + rvdot * vx) * vkmpersec,
+            (mvt * uy + rvdot * vy) * vkmpersec,
+            (mvt * uz + rvdot * vz) * vkmpersec,
+        );
+
+        if mrt < 1.0 {
+            return Err(Sgp4Error::Decayed);
+        }
+        Ok(StateVector { position, velocity })
+    }
+}
+
+impl Propagator for Sgp4 {
+    /// Propagate to an absolute epoch.
+    ///
+    /// # Panics
+    /// Panics if the model reports decay or element blow-up at this time;
+    /// use [`Sgp4::propagate_minutes`] for fallible propagation.
+    fn propagate(&self, epoch: Epoch) -> StateVector {
+        let tsince = epoch.seconds_since(&self.epoch) / 60.0;
+        self.propagate_minutes(tsince)
+            .unwrap_or_else(|e| panic!("SGP4 propagation failed at {epoch}: {e}"))
+    }
+
+    fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kepler::ClassicalElements;
+    use crate::math::deg_to_rad;
+    use crate::propagator::KeplerJ2;
+
+    fn epoch() -> Epoch {
+        Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+    }
+
+    fn starlink_sgp4(bstar: f64) -> Sgp4 {
+        let el = ClassicalElements::circular(546.0, deg_to_rad(53.0), deg_to_rad(100.0), deg_to_rad(20.0));
+        Sgp4::new(
+            epoch(),
+            el.inclination_rad,
+            el.raan_rad,
+            el.eccentricity.max(1e-7),
+            el.arg_perigee_rad,
+            el.mean_anomaly_rad,
+            el.mean_motion_rad_s() * 60.0,
+            bstar,
+        )
+        .expect("valid elements")
+    }
+
+    #[test]
+    fn rejects_deep_space() {
+        // GEO: mean motion ~1 rev/day -> deep space.
+        let n = 1.0027 * std::f64::consts::TAU / 1440.0;
+        let r = Sgp4::new(epoch(), 0.1, 0.0, 0.001, 0.0, 0.0, n, 0.0);
+        assert_eq!(r.unwrap_err(), Sgp4Error::DeepSpace);
+    }
+
+    #[test]
+    fn rejects_bad_eccentricity() {
+        let n = 15.0 * std::f64::consts::TAU / 1440.0;
+        assert!(Sgp4::new(epoch(), 0.9, 0.0, 1.5, 0.0, 0.0, n, 0.0).is_err());
+        assert!(Sgp4::new(epoch(), 0.9, 0.0, -0.1, 0.0, 0.0, n, 0.0).is_err());
+    }
+
+    #[test]
+    fn altitude_within_band() {
+        let s = starlink_sgp4(0.0);
+        for m in (0..=1440).step_by(7) {
+            let st = s.propagate_minutes(m as f64).unwrap();
+            let alt = st.altitude_km();
+            // SGP4 short-period terms wiggle +-15 km around the mean.
+            assert!((520.0..575.0).contains(&alt), "alt {alt} at {m} min");
+        }
+    }
+
+    #[test]
+    fn speed_is_leo_speed() {
+        let s = starlink_sgp4(0.0);
+        let st = s.propagate_minutes(100.0).unwrap();
+        let v = st.velocity.norm();
+        assert!((v - 7.59).abs() < 0.05, "speed {v}");
+    }
+
+    #[test]
+    fn agrees_with_kepler_j2_dragless() {
+        // With bstar = 0 the differences from KeplerJ2 are the short-period
+        // J2 oscillation (~10 km) plus a slow along-track drift from the
+        // Kozai-vs-Brouwer mean-motion convention (~2.5 km per orbit).
+        // Verify agreement within that budget over 24 hours.
+        let el = ClassicalElements::circular(546.0, deg_to_rad(53.0), deg_to_rad(100.0), deg_to_rad(20.0));
+        let kj2 = KeplerJ2::from_elements(&el, epoch());
+        let s = starlink_sgp4(0.0);
+        for m in (0..=1440).step_by(60) {
+            let t = epoch().plus_minutes(m as f64);
+            let p1 = kj2.propagate(t).position;
+            let p2 = s.propagate_minutes(m as f64).unwrap().position;
+            let d = (p1 - p2).norm();
+            let budget = 25.0 + 0.05 * m as f64;
+            assert!(d < budget, "divergence {d} km at {m} min (budget {budget})");
+        }
+    }
+
+    #[test]
+    fn drag_lowers_orbit() {
+        let drag = starlink_sgp4(1.0e-3); // large B* to make the effect obvious
+        let clean = starlink_sgp4(0.0);
+        let day = 3.0 * 1440.0;
+        let a_drag = drag.propagate_minutes(day).unwrap().position.norm();
+        let a_clean = clean.propagate_minutes(day).unwrap().position.norm();
+        // Compare mean radii over an orbit to wash out phase differences.
+        let mean = |s: &Sgp4| -> f64 {
+            (0..96)
+                .map(|k| s.propagate_minutes(day + k as f64).unwrap().position.norm())
+                .sum::<f64>()
+                / 96.0
+        };
+        let (md, mc) = (mean(&drag), mean(&clean));
+        assert!(md < mc, "drag mean radius {md} vs clean {mc}");
+        let _ = (a_drag, a_clean);
+    }
+
+    #[test]
+    fn nodal_regression_rate_matches_j2_theory() {
+        let s = starlink_sgp4(0.0);
+        // Node drift per day from the precomputed rate: rad/min -> deg/day.
+        let rate_deg_day = s.nodedot.to_degrees() * 1440.0;
+        // Compare with the analytic secular J2 rate from KeplerJ2
+        // (about -4.5 deg/day for 53 deg / 550 km).
+        let el = ClassicalElements::circular(546.0, deg_to_rad(53.0), 0.0, 0.0);
+        let kj2 = KeplerJ2::from_elements(&el, epoch());
+        let expected = kj2.raan_drift_deg_per_day();
+        assert!(
+            (rate_deg_day - expected).abs() < 0.05 * expected.abs(),
+            "sgp4 {rate_deg_day} vs j2 theory {expected}"
+        );
+    }
+
+    #[test]
+    fn propagate_epoch_matches_minutes() {
+        let s = starlink_sgp4(0.0);
+        let t = epoch().plus_minutes(123.456);
+        let a = s.propagate(t);
+        let b = s.propagate_minutes(123.456).unwrap();
+        assert!((a.position - b.position).norm() < 1e-9);
+    }
+
+    #[test]
+    fn period_matches_mean_motion() {
+        let s = starlink_sgp4(0.0);
+        // Find successive ascending-node crossings (z sign change upward).
+        let mut last_z = s.propagate_minutes(0.0).unwrap().position.z;
+        let mut crossings = Vec::new();
+        let dt = 0.05;
+        let mut t = dt;
+        while t < 300.0 && crossings.len() < 2 {
+            let z = s.propagate_minutes(t).unwrap().position.z;
+            if last_z < 0.0 && z >= 0.0 {
+                crossings.push(t);
+            }
+            last_z = z;
+            t += dt;
+        }
+        assert_eq!(crossings.len(), 2, "found node crossings");
+        let period = crossings[1] - crossings[0];
+        assert!((period - 95.6).abs() < 1.0, "nodal period {period} min");
+    }
+
+    #[test]
+    fn eccentric_orbit_apsides() {
+        // a = 7500 km, e = 0.08: perigee 6900 km (522 km alt), apogee 8100.
+        let n = crate::earth::mean_motion_from_sma(7500.0) * std::f64::consts::TAU / 1440.0;
+        let s = Sgp4::new(epoch(), deg_to_rad(63.4), 0.0, 0.08, deg_to_rad(270.0), 0.0, n, 0.0)
+            .unwrap();
+        let mut rmin = f64::MAX;
+        let mut rmax: f64 = 0.0;
+        for k in 0..2000 {
+            let r = s.propagate_minutes(k as f64 * 0.1).unwrap().position.norm();
+            rmin = rmin.min(r);
+            rmax = rmax.max(r);
+        }
+        assert!((rmin - 6900.0).abs() < 100.0, "perigee {rmin}");
+        assert!((rmax - 8100.0).abs() < 100.0, "apogee {rmax}");
+    }
+}

@@ -1,0 +1,505 @@
+//! Two-Line Element (TLE) sets: parsing, formatting, and synthesis.
+//!
+//! TLEs are the interchange format the paper's simulator (CosmicBeats)
+//! consumes, and the format in which constellation operators publish
+//! ephemerides. This module implements the full fixed-column NORAD format,
+//! including the assumed-decimal-point fields and the mod-10 checksum, plus
+//! synthesis of TLEs from [`ClassicalElements`] so the Walker generator can
+//! emit constellations as standard TLE text.
+
+use crate::kepler::ClassicalElements;
+use crate::math::wrap_two_pi;
+use crate::time::Epoch;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed Two-Line Element set (mean elements in TLE conventions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tle {
+    /// Satellite name (line 0), if present.
+    pub name: String,
+    /// NORAD catalog number.
+    pub norad_id: u32,
+    /// Classification character (usually 'U').
+    pub classification: char,
+    /// International designator (launch year/number/piece), trimmed.
+    pub intl_designator: String,
+    /// Epoch year (full four-digit year).
+    pub epoch_year: i32,
+    /// Epoch day of year with fraction (1.0 = Jan 1 00:00 UTC).
+    pub epoch_day: f64,
+    /// First derivative of mean motion / 2, revs/day^2.
+    pub ndot_over_2: f64,
+    /// Second derivative of mean motion / 6, revs/day^3.
+    pub nddot_over_6: f64,
+    /// B* drag term, 1/earth-radii.
+    pub bstar: f64,
+    /// Element set number.
+    pub element_number: u32,
+    /// Inclination, degrees.
+    pub inclination_deg: f64,
+    /// Right ascension of the ascending node, degrees.
+    pub raan_deg: f64,
+    /// Eccentricity (the TLE field has an assumed leading decimal point).
+    pub eccentricity: f64,
+    /// Argument of perigee, degrees.
+    pub arg_perigee_deg: f64,
+    /// Mean anomaly, degrees.
+    pub mean_anomaly_deg: f64,
+    /// Mean motion, revolutions per day.
+    pub mean_motion_revs_day: f64,
+    /// Revolution number at epoch.
+    pub rev_number: u32,
+}
+
+/// Errors from TLE parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TleError {
+    /// Input did not contain two element lines.
+    MissingLines,
+    /// A line was shorter than the mandatory 69 columns.
+    LineTooShort(u8),
+    /// A line did not start with the expected line number.
+    BadLineNumber(u8),
+    /// The mod-10 checksum failed for the given line.
+    ChecksumMismatch {
+        /// Which line (1 or 2).
+        line: u8,
+        /// Checksum stated in the TLE.
+        expected: u32,
+        /// Checksum computed over the line.
+        computed: u32,
+    },
+    /// The catalog numbers of line 1 and line 2 disagree.
+    CatalogMismatch,
+    /// A numeric field failed to parse; the string names the field.
+    BadField(String),
+}
+
+impl fmt::Display for TleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TleError::MissingLines => write!(f, "expected two TLE lines"),
+            TleError::LineTooShort(l) => write!(f, "line {l} shorter than 69 columns"),
+            TleError::BadLineNumber(l) => write!(f, "line {l} does not start with '{l}'"),
+            TleError::ChecksumMismatch { line, expected, computed } => {
+                write!(f, "line {line} checksum mismatch: stated {expected}, computed {computed}")
+            }
+            TleError::CatalogMismatch => write!(f, "catalog numbers of lines 1 and 2 differ"),
+            TleError::BadField(name) => write!(f, "failed to parse field {name}"),
+        }
+    }
+}
+
+impl std::error::Error for TleError {}
+
+/// Compute the NORAD mod-10 checksum of the first 68 columns of a line:
+/// digits count as their value, '-' counts as 1, all else as 0.
+pub fn checksum(line: &str) -> u32 {
+    line.chars()
+        .take(68)
+        .map(|c| match c {
+            '0'..='9' => c as u32 - '0' as u32,
+            '-' => 1,
+            _ => 0,
+        })
+        .sum::<u32>()
+        % 10
+}
+
+fn field<T: std::str::FromStr>(line: &str, range: std::ops::Range<usize>, name: &str) -> Result<T, TleError> {
+    line.get(range)
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| TleError::BadField(name.to_string()))
+}
+
+/// Parse a field with an assumed decimal point and exponent, e.g.
+/// `" 12345-4"` -> `0.12345e-4`, `"-11606-4"` -> `-0.11606e-4`.
+fn assumed_decimal(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Some(0.0);
+    }
+    let (sign, rest) = match s.as_bytes()[0] {
+        b'-' => (-1.0, &s[1..]),
+        b'+' => (1.0, &s[1..]),
+        _ => (1.0, s),
+    };
+    // Split mantissa and exponent; exponent sign is mandatory in real TLEs
+    // but tolerate its absence.
+    let exp_pos = rest.rfind(['-', '+'])?;
+    let (mant, exp) = if exp_pos == 0 { (rest, "0") } else { rest.split_at(exp_pos) };
+    let mant_val: f64 = format!("0.{}", mant.trim()).parse().ok()?;
+    let exp_val: i32 = exp.parse().ok()?;
+    Some(sign * mant_val * 10f64.powi(exp_val))
+}
+
+fn format_assumed_decimal(v: f64) -> String {
+    if v == 0.0 {
+        return " 00000+0".to_string();
+    }
+    let sign = if v < 0.0 { '-' } else { ' ' };
+    let mut a = v.abs();
+    let mut exp = 0i32;
+    while a < 0.1 {
+        a *= 10.0;
+        exp -= 1;
+    }
+    while a >= 1.0 {
+        a /= 10.0;
+        exp += 1;
+    }
+    let mant = (a * 100_000.0).round() as u32;
+    let (mant, exp) = if mant == 100_000 { (10_000, exp + 1) } else { (mant, exp) };
+    let esign = if exp < 0 { '-' } else { '+' };
+    format!("{sign}{mant:05}{esign}{}", exp.abs())
+}
+
+impl Tle {
+    /// Parse a TLE from text. Accepts an optional name line (line 0)
+    /// followed by the two element lines; blank lines are ignored.
+    pub fn parse(text: &str) -> Result<Tle, TleError> {
+        let lines: Vec<&str> = text.lines().map(str::trim_end).filter(|l| !l.trim().is_empty()).collect();
+        let (name, l1, l2) = match lines.len() {
+            0 | 1 => return Err(TleError::MissingLines),
+            2 => (String::new(), lines[0], lines[1]),
+            _ => (lines[0].trim().to_string(), lines[1], lines[2]),
+        };
+        Self::parse_lines(&name, l1, l2)
+    }
+
+    /// Parse from explicit name and element lines.
+    pub fn parse_lines(name: &str, l1: &str, l2: &str) -> Result<Tle, TleError> {
+        for (idx, line) in [(1u8, l1), (2u8, l2)] {
+            if line.len() < 69 {
+                return Err(TleError::LineTooShort(idx));
+            }
+            if !line.starts_with(char::from(b'0' + idx)) {
+                return Err(TleError::BadLineNumber(idx));
+            }
+            let stated: u32 = line[68..69].parse().map_err(|_| TleError::BadField(format!("checksum{idx}")))?;
+            let computed = checksum(line);
+            if stated != computed {
+                return Err(TleError::ChecksumMismatch { line: idx, expected: stated, computed });
+            }
+        }
+
+        let norad1: u32 = field(l1, 2..7, "norad_id")?;
+        let norad2: u32 = field(l2, 2..7, "norad_id(2)")?;
+        if norad1 != norad2 {
+            return Err(TleError::CatalogMismatch);
+        }
+        let classification = l1.as_bytes()[7] as char;
+        let intl_designator = l1[9..17].trim().to_string();
+        let epoch_yy: u32 = field(l1, 18..20, "epoch_year")?;
+        let epoch_year = if epoch_yy < 57 { 2000 + epoch_yy as i32 } else { 1900 + epoch_yy as i32 };
+        let epoch_day: f64 = field(l1, 20..32, "epoch_day")?;
+        // ndot field carries an explicit decimal point but may start with
+        // '+'/'-'/' '.
+        let ndot_str = l1[33..43].trim();
+        let ndot_over_2: f64 = ndot_str.parse().map_err(|_| TleError::BadField("ndot".into()))?;
+        let nddot_over_6 = assumed_decimal(&l1[44..52]).ok_or_else(|| TleError::BadField("nddot".into()))?;
+        let bstar = assumed_decimal(&l1[53..61]).ok_or_else(|| TleError::BadField("bstar".into()))?;
+        let element_number: u32 = field(l1, 64..68, "element_number").unwrap_or(0);
+
+        let inclination_deg: f64 = field(l2, 8..16, "inclination")?;
+        let raan_deg: f64 = field(l2, 17..25, "raan")?;
+        let ecc_str = l2[26..33].trim();
+        let eccentricity: f64 = format!("0.{ecc_str}").parse().map_err(|_| TleError::BadField("eccentricity".into()))?;
+        let arg_perigee_deg: f64 = field(l2, 34..42, "arg_perigee")?;
+        let mean_anomaly_deg: f64 = field(l2, 43..51, "mean_anomaly")?;
+        let mean_motion_revs_day: f64 = field(l2, 52..63, "mean_motion")?;
+        let rev_number: u32 = field(l2, 63..68, "rev_number").unwrap_or(0);
+
+        Ok(Tle {
+            name: name.to_string(),
+            norad_id: norad1,
+            classification,
+            intl_designator,
+            epoch_year,
+            epoch_day,
+            ndot_over_2,
+            nddot_over_6,
+            bstar,
+            element_number,
+            inclination_deg,
+            raan_deg,
+            eccentricity,
+            arg_perigee_deg,
+            mean_anomaly_deg,
+            mean_motion_revs_day,
+            rev_number,
+        })
+    }
+
+    /// The absolute epoch of these elements.
+    pub fn epoch(&self) -> Epoch {
+        Epoch::from_year_doy(self.epoch_year, self.epoch_day)
+    }
+
+    /// Convert the TLE mean elements to [`ClassicalElements`] using the
+    /// two-body relation between mean motion and semi-major axis.
+    ///
+    /// Note: TLE mean elements are *Kozai* mean elements, so the recovered
+    /// semi-major axis differs from the SGP4-internal (Brouwer) value by a
+    /// few km — fine for geometry seeding, which is all this is used for.
+    pub fn to_elements(&self) -> ClassicalElements {
+        ClassicalElements {
+            semi_major_axis_km: crate::earth::sma_from_mean_motion(self.mean_motion_revs_day),
+            eccentricity: self.eccentricity,
+            inclination_rad: self.inclination_deg.to_radians(),
+            raan_rad: wrap_two_pi(self.raan_deg.to_radians()),
+            arg_perigee_rad: wrap_two_pi(self.arg_perigee_deg.to_radians()),
+            mean_anomaly_rad: wrap_two_pi(self.mean_anomaly_deg.to_radians()),
+        }
+    }
+
+    /// Synthesize a TLE from classical elements at an epoch.
+    ///
+    /// The drag-related fields are zeroed (synthetic constellations are
+    /// propagated drag-free), and bookkeeping fields take the provided
+    /// identifiers.
+    pub fn from_elements(name: &str, norad_id: u32, elements: &ClassicalElements, epoch: Epoch) -> Tle {
+        Tle {
+            name: name.to_string(),
+            norad_id,
+            classification: 'U',
+            intl_designator: format!("{:02}{:03}A", epoch.year() % 100, norad_id % 1000),
+            epoch_year: epoch.year(),
+            epoch_day: epoch.day_of_year(),
+            ndot_over_2: 0.0,
+            nddot_over_6: 0.0,
+            bstar: 0.0,
+            element_number: 1,
+            inclination_deg: elements.inclination_rad.to_degrees(),
+            raan_deg: wrap_two_pi(elements.raan_rad).to_degrees(),
+            eccentricity: elements.eccentricity,
+            arg_perigee_deg: wrap_two_pi(elements.arg_perigee_rad).to_degrees(),
+            mean_anomaly_deg: wrap_two_pi(elements.mean_anomaly_rad).to_degrees(),
+            mean_motion_revs_day: elements.mean_motion_revs_day(),
+            rev_number: 0,
+        }
+    }
+
+    /// Format as the canonical two fixed-width lines (without the name).
+    pub fn format_lines(&self) -> (String, String) {
+        let yy = self.epoch_year % 100;
+        let mut l1 = format!(
+            "1 {:05}{} {:<8} {:02}{:012.8} {}{:.8} {} {} 0 {:4}",
+            self.norad_id,
+            self.classification,
+            self.intl_designator,
+            yy,
+            self.epoch_day,
+            if self.ndot_over_2 < 0.0 { "-" } else { " " },
+            self.ndot_over_2.abs(),
+            format_assumed_decimal(self.nddot_over_6),
+            format_assumed_decimal(self.bstar),
+            self.element_number % 10_000,
+        );
+        // The ndot field must occupy exactly 10 columns: sign + ".NNNNNNNN".
+        // Rebuild precisely to the column spec to be safe.
+        let ndot_field = {
+            let sign = if self.ndot_over_2 < 0.0 { '-' } else { ' ' };
+            let frac = format!("{:.8}", self.ndot_over_2.abs());
+            // strip leading "0" of "0.xxxxxxxx"
+            format!("{sign}{}", &frac[1..])
+        };
+        l1 = format!(
+            "1 {:05}{} {:<8} {:02}{:012.8} {} {} {} 0 {:4}",
+            self.norad_id,
+            self.classification,
+            self.intl_designator,
+            yy,
+            self.epoch_day,
+            ndot_field,
+            format_assumed_decimal(self.nddot_over_6),
+            format_assumed_decimal(self.bstar),
+            self.element_number % 10_000,
+        );
+        l1.truncate(68);
+        while l1.len() < 68 {
+            l1.push(' ');
+        }
+        let ecc7 = format!("{:07}", (self.eccentricity * 1e7).round() as u64);
+        let mut l2 = format!(
+            "2 {:05} {:8.4} {:8.4} {} {:8.4} {:8.4} {:11.8}{:5}",
+            self.norad_id,
+            self.inclination_deg,
+            self.raan_deg,
+            ecc7,
+            self.arg_perigee_deg,
+            self.mean_anomaly_deg,
+            self.mean_motion_revs_day,
+            self.rev_number % 100_000,
+        );
+        l2.truncate(68);
+        while l2.len() < 68 {
+            l2.push(' ');
+        }
+        (format!("{l1}{}", checksum(&l1)), format!("{l2}{}", checksum(&l2)))
+    }
+}
+
+impl fmt::Display for Tle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (l1, l2) = self.format_lines();
+        if self.name.is_empty() {
+            write!(f, "{l1}\n{l2}")
+        } else {
+            write!(f, "{}\n{l1}\n{l2}", self.name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::deg_to_rad;
+
+    // A real historical ISS TLE (checksums valid).
+    const ISS: &str = "ISS (ZARYA)\n\
+        1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927\n\
+        2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+    #[test]
+    fn parse_iss() {
+        let t = Tle::parse(ISS).expect("parse");
+        assert_eq!(t.name, "ISS (ZARYA)");
+        assert_eq!(t.norad_id, 25544);
+        assert_eq!(t.classification, 'U');
+        assert_eq!(t.intl_designator, "98067A");
+        assert_eq!(t.epoch_year, 2008);
+        assert!((t.epoch_day - 264.517_825_28).abs() < 1e-9);
+        assert!((t.ndot_over_2 - (-0.00002182)).abs() < 1e-12);
+        assert!((t.bstar - (-0.11606e-4)).abs() < 1e-12);
+        assert!((t.inclination_deg - 51.6416).abs() < 1e-9);
+        assert!((t.raan_deg - 247.4627).abs() < 1e-9);
+        assert!((t.eccentricity - 0.0006703).abs() < 1e-12);
+        assert!((t.mean_motion_revs_day - 15.721_253_91).abs() < 1e-9);
+        assert_eq!(t.rev_number, 56353);
+    }
+
+    #[test]
+    fn checksum_known_lines() {
+        let l1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+        assert_eq!(checksum(l1), 7);
+        let l2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+        assert_eq!(checksum(l2), 7);
+    }
+
+    #[test]
+    fn rejects_corrupted_checksum() {
+        let bad = ISS.replace("  2927", "  2920");
+        match Tle::parse(&bad) {
+            Err(TleError::ChecksumMismatch { line: 1, .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_short_line() {
+        assert_eq!(Tle::parse("1 foo\n2 bar"), Err(TleError::LineTooShort(1)));
+    }
+
+    #[test]
+    fn rejects_catalog_mismatch() {
+        let lines: Vec<&str> = ISS.lines().collect();
+        let l2 = lines[2].replace("2 25544", "2 25545");
+        // Fix the checksum for the altered line.
+        let body = &l2[..68];
+        let l2 = format!("{body}{}", checksum(body));
+        match Tle::parse_lines("x", lines[1], &l2) {
+            Err(TleError::CatalogMismatch) => {}
+            other => panic!("expected catalog mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumed_decimal_cases() {
+        assert!((assumed_decimal(" 12345-4").unwrap() - 0.12345e-4).abs() < 1e-15);
+        assert!((assumed_decimal("-11606-4").unwrap() - (-0.11606e-4)).abs() < 1e-15);
+        assert!((assumed_decimal(" 00000-0").unwrap()).abs() < 1e-15);
+        assert!((assumed_decimal(" 34123+2").unwrap() - 34.123).abs() < 1e-10);
+    }
+
+    #[test]
+    fn assumed_decimal_format_roundtrip() {
+        for v in [0.0, 0.12345e-4, -0.11606e-4, 0.5e-3, -0.99999e-6] {
+            let s = format_assumed_decimal(v);
+            assert_eq!(s.len(), 8, "field {s:?} must be 8 cols");
+            let back = assumed_decimal(&s).unwrap();
+            assert!((back - v).abs() <= v.abs() * 1e-4 + 1e-12, "{v} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn epoch_year_windowing() {
+        let t = Tle::parse(ISS).unwrap();
+        assert_eq!(t.epoch_year, 2008);
+        // Years >= 57 are 19xx.
+        let l1 = "1 00005U 58002B   00179.78495062  .00000023  00000-0  28098-4 0  4753";
+        let l2 = "2 00005  34.2682 348.7242 1859667 331.7664  19.3264 10.82419157413667";
+        let t2 = Tle::parse_lines("VANGUARD", l1, l2).unwrap();
+        assert_eq!(t2.epoch_year, 2000);
+        assert_eq!(t2.norad_id, 5);
+    }
+
+    #[test]
+    fn format_roundtrip_synthetic() {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 12, 0, 0.0);
+        let el = ClassicalElements::circular(546.0, deg_to_rad(53.0), deg_to_rad(123.4), deg_to_rad(77.0));
+        let t = Tle::from_elements("MPLEO-1", 90001, &el, epoch);
+        let text = t.to_string();
+        let back = Tle::parse(&text).expect("reparse synthesized TLE");
+        assert_eq!(back.name, "MPLEO-1");
+        assert_eq!(back.norad_id, 90001);
+        assert!((back.inclination_deg - 53.0).abs() < 1e-4);
+        assert!((back.raan_deg - 123.4).abs() < 1e-4);
+        assert!((back.mean_anomaly_deg - 77.0).abs() < 1e-4);
+        assert!((back.mean_motion_revs_day - el.mean_motion_revs_day()).abs() < 1e-7);
+        assert!(back.eccentricity < 1e-6);
+        // Epoch survives to sub-second accuracy.
+        assert!(back.epoch().seconds_since(&epoch).abs() < 0.5);
+    }
+
+    #[test]
+    fn elements_roundtrip_through_tle() {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let el = ClassicalElements {
+            semi_major_axis_km: 6924.0,
+            eccentricity: 0.0012,
+            inclination_rad: deg_to_rad(53.0),
+            raan_rad: deg_to_rad(200.0),
+            arg_perigee_rad: deg_to_rad(90.0),
+            mean_anomaly_rad: deg_to_rad(10.0),
+        };
+        let t = Tle::from_elements("X", 1, &el, epoch);
+        let el2 = t.to_elements();
+        assert!((el2.semi_major_axis_km - el.semi_major_axis_km).abs() < 0.01);
+        assert!((el2.eccentricity - el.eccentricity).abs() < 1e-7);
+        assert!((el2.inclination_rad - el.inclination_rad).abs() < 1e-6);
+        assert!((el2.raan_rad - el.raan_rad).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgp4_accepts_synthesized_tle() {
+        use crate::propagator::Sgp4;
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let el = ClassicalElements::circular(546.0, deg_to_rad(53.0), 0.0, 0.0);
+        let t = Tle::from_elements("S", 7, &el, epoch);
+        let s = Sgp4::from_tle(&t).expect("init");
+        let st = s.propagate_minutes(30.0).expect("propagate");
+        assert!((st.altitude_km() - 546.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn parse_without_name_line() {
+        let lines: Vec<&str> = ISS.lines().collect();
+        let t = Tle::parse(&format!("{}\n{}", lines[1], lines[2])).unwrap();
+        assert_eq!(t.name, "");
+        assert_eq!(t.norad_id, 25544);
+    }
+}

@@ -1,0 +1,80 @@
+//! Multi-party satellite control in action (the paper's §4 vision).
+//!
+//! Four parties share a constellation. The satellite's *owner* tries to
+//! shut down service over a region — the exact abuse that motivated
+//! Taiwan's independent-constellation plans — and the control group blocks
+//! it. A legitimate safe-mode command then passes with a quorum. All over
+//! real TCP gossip.
+//!
+//! Run with: `cargo run --release -p mpleo-bench --example multi_party_control`
+
+use dcp::control::ControlEvent;
+use dcp::crypto::KeyDirectory;
+use dcp::messages::GossipItem;
+use dcp::node::{Node, NodeConfig};
+use mpleo::control::{Command, ControlGroup, ProposalState};
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() {
+    let parties = ["usa-isp", "taiwan", "korea", "eu-coop"];
+    let mut keys = KeyDirectory::new();
+    for p in parties {
+        keys.register_derived(p, b"control-demo");
+    }
+    // Quorum 3 of 4: no pair of parties can force a sensitive command.
+    let mut group = ControlGroup::new(parties.map(String::from), 3);
+    group.register_satellite(42, "usa-isp");
+
+    let mut nodes = Vec::new();
+    for p in parties {
+        let mut cfg = NodeConfig::local(p, keys.clone());
+        cfg.control = Some(group.clone());
+        nodes.push(Node::start(cfg).await.unwrap());
+    }
+    for i in 1..nodes.len() {
+        nodes[i].connect(nodes[i - 1].local_addr).await.unwrap();
+    }
+    println!("4-party control group online (quorum 3 of 4), satellite 42 owned by usa-isp\n");
+
+    // Scene 1: the owner tries to cut service over Taiwan.
+    println!("usa-isp proposes: RegionShutdown(Taiwan)");
+    nodes[0].publish(GossipItem::Control(
+        ControlEvent::propose(&keys, 1, 42, "usa-isp", Command::RegionShutdown { region: "Taiwan".into() })
+            .unwrap(),
+    ));
+    println!("taiwan votes NO, korea votes NO");
+    nodes[1].publish(GossipItem::Control(ControlEvent::vote(&keys, 1, "taiwan", false).unwrap()));
+    nodes[2].publish(GossipItem::Control(ControlEvent::vote(&keys, 1, "korea", false).unwrap()));
+    wait(&nodes, 1, ProposalState::Rejected).await;
+    println!("=> proposal 1 REJECTED on every node — no party, not even the");
+    println!("   owner, can unilaterally deny service to a region.\n");
+
+    // Scene 2: a legitimate safety command gathers a quorum.
+    println!("usa-isp proposes: SafeMode (debris conjunction warning)");
+    nodes[0].publish(GossipItem::Control(
+        ControlEvent::propose(&keys, 2, 42, "usa-isp", Command::SafeMode).unwrap(),
+    ));
+    nodes[3].publish(GossipItem::Control(ControlEvent::vote(&keys, 2, "eu-coop", true).unwrap()));
+    nodes[2].publish(GossipItem::Control(ControlEvent::vote(&keys, 2, "korea", true).unwrap()));
+    wait(&nodes, 2, ProposalState::Executed).await;
+    println!("=> proposal 2 EXECUTED with approvals from usa-isp, eu-coop, korea.\n");
+
+    println!("replica agreement (executed-log digests):");
+    for n in &nodes {
+        println!("  {}: {:016x}", n.node_id(), n.control_log_digest().unwrap());
+    }
+    for n in &nodes {
+        n.shutdown();
+    }
+}
+
+async fn wait(nodes: &[dcp::node::NodeHandle], id: u64, state: ProposalState) {
+    for _ in 0..500 {
+        if nodes.iter().all(|n| n.control_state(id) == Some(state)) {
+            return;
+        }
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    panic!("proposal {id} did not reach {state:?} everywhere");
+}

@@ -1,0 +1,136 @@
+//! Multi-party control over the real network: quorum commands execute only
+//! with enough approvals, replicas converge, and unilateral region
+//! shutdowns — the abuse MP-LEO exists to prevent — are impossible.
+
+use dcp::control::ControlEvent;
+use dcp::crypto::KeyDirectory;
+use dcp::messages::GossipItem;
+use dcp::node::{Node, NodeConfig, NodeHandle};
+use mpleo::control::{Command, ControlGroup, ProposalState};
+use std::time::Duration;
+
+fn keys() -> KeyDirectory {
+    let mut k = KeyDirectory::new();
+    for p in ["a", "b", "c", "d"] {
+        k.register_derived(p, b"control-net-test");
+    }
+    k
+}
+
+fn group() -> ControlGroup {
+    let mut g = ControlGroup::new(["a", "b", "c", "d"].map(String::from), 3);
+    g.register_satellite(7, "a");
+    g
+}
+
+async fn mesh(parties: &[&str]) -> Vec<NodeHandle> {
+    let mut nodes = Vec::new();
+    for p in parties {
+        let mut cfg = NodeConfig::local(*p, keys());
+        cfg.control = Some(group());
+        nodes.push(Node::start(cfg).await.unwrap());
+    }
+    for i in 1..nodes.len() {
+        nodes[i].connect(nodes[i - 1].local_addr).await.unwrap();
+    }
+    nodes
+}
+
+async fn wait_state(
+    nodes: &[NodeHandle],
+    id: u64,
+    state: ProposalState,
+    ms: u64,
+) -> bool {
+    for _ in 0..(ms / 10) {
+        if nodes.iter().all(|n| n.control_state(id) == Some(state)) {
+            return true;
+        }
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    false
+}
+
+#[tokio::test]
+async fn quorum_deorbit_executes_across_mesh() {
+    let nodes = mesh(&["a", "b", "c", "d"]).await;
+    let k = keys();
+    nodes[0].publish(GossipItem::Control(
+        ControlEvent::propose(&k, 1, 7, "a", Command::Deorbit).unwrap(),
+    ));
+    // Proposer's implicit approval + two votes = quorum of 3.
+    nodes[1].publish(GossipItem::Control(ControlEvent::vote(&k, 1, "b", true).unwrap()));
+    assert!(
+        !wait_state(&nodes, 1, ProposalState::Executed, 300).await,
+        "two approvals must not execute a 3-quorum command"
+    );
+    nodes[2].publish(GossipItem::Control(ControlEvent::vote(&k, 1, "c", true).unwrap()));
+    assert!(
+        wait_state(&nodes, 1, ProposalState::Executed, 5000).await,
+        "third approval executes: {:?}",
+        nodes.iter().map(|n| n.control_state(1)).collect::<Vec<_>>()
+    );
+    // Every replica has the same executed log.
+    let digests: std::collections::HashSet<Option<u64>> =
+        nodes.iter().map(|n| n.control_log_digest()).collect();
+    assert_eq!(digests.len(), 1);
+    for n in &nodes {
+        n.shutdown();
+    }
+}
+
+#[tokio::test]
+async fn region_shutdown_blocked_by_rejections() {
+    let nodes = mesh(&["a", "b", "c", "d"]).await;
+    let k = keys();
+    // Party a (the satellite owner!) tries to cut service over a region.
+    nodes[0].publish(GossipItem::Control(
+        ControlEvent::propose(&k, 2, 7, "a", Command::RegionShutdown { region: "Taiwan".into() })
+            .unwrap(),
+    ));
+    nodes[1].publish(GossipItem::Control(ControlEvent::vote(&k, 2, "b", false).unwrap()));
+    nodes[2].publish(GossipItem::Control(ControlEvent::vote(&k, 2, "c", false).unwrap()));
+    assert!(
+        wait_state(&nodes, 2, ProposalState::Rejected, 5000).await,
+        "two rejections make a 3-of-4 quorum impossible"
+    );
+    for n in &nodes {
+        assert_eq!(n.control_log_digest(), nodes[0].control_log_digest());
+    }
+    for n in &nodes {
+        n.shutdown();
+    }
+}
+
+#[tokio::test]
+async fn forged_control_events_ignored() {
+    let nodes = mesh(&["a", "b"]).await;
+    let k = keys();
+    let genuine = ControlEvent::propose(&k, 3, 7, "a", Command::SafeMode).unwrap();
+    let ControlEvent::Propose { proposal_id, sat_id, command, signature, .. } = genuine else {
+        unreachable!()
+    };
+    // Replay a's signature on a proposal claiming to be from b.
+    let forged = ControlEvent::Propose {
+        proposal_id,
+        sat_id,
+        party: "b".into(),
+        command,
+        signature,
+    };
+    nodes[0].publish(GossipItem::Control(forged));
+    for _ in 0..100 {
+        if nodes.iter().all(|n| n.item_count() >= 1) {
+            break;
+        }
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    tokio::time::sleep(Duration::from_millis(100)).await;
+    for n in &nodes {
+        assert_eq!(n.control_state(3), None, "forged proposal must not register");
+        assert!(n.rejected_count() >= 1);
+    }
+    for n in &nodes {
+        n.shutdown();
+    }
+}

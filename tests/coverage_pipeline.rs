@@ -1,0 +1,137 @@
+//! End-to-end pipeline test: constellation synthesis -> propagation ->
+//! visibility -> coverage statistics, asserting the paper's §2 claims at
+//! reduced fidelity.
+
+use leosim::coverage::CoverageStats;
+use leosim::idle::mean_idle_fraction;
+use leosim::montecarlo::{run_rng, sample_indices};
+use leosim::visibility::{SimConfig, VisibilityTable};
+use leosim::TimeGrid;
+use orbital::constellation::starlink_gen1_pool;
+use orbital::time::Epoch;
+
+fn epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+/// Shared context: one day at 120 s over the full pool, Taipei receiver.
+fn taipei_table() -> VisibilityTable {
+    let pool = starlink_gen1_pool(epoch());
+    let taipei = [geodata::taipei()];
+    let grid = TimeGrid::new(epoch(), 86_400.0, 120.0);
+    VisibilityTable::compute(&pool, &taipei, &grid, &SimConfig::default())
+}
+
+#[test]
+fn fig2_claims_at_reduced_fidelity() {
+    let vt = taipei_table();
+    let n = vt.sat_count();
+    let uncovered = |size: usize| -> f64 {
+        let mut acc = 0.0;
+        let runs = 5;
+        for run in 0..runs {
+            let mut rng = run_rng(1, run);
+            let subset = sample_indices(&mut rng, n, size);
+            let stats = CoverageStats::from_bitset(&vt.coverage_union(&subset, 0), &vt.grid);
+            acc += stats.uncovered_fraction;
+        }
+        acc / runs as f64
+    };
+    // Paper: >50% uncovered at 100 satellites.
+    let u100 = uncovered(100);
+    assert!(u100 > 0.5, "100 sats leave {:.1}% uncovered", u100 * 100.0);
+    // Paper: ~99.5% coverage at 1000 satellites.
+    let u1000 = uncovered(1000);
+    assert!(u1000 < 0.02, "1000 sats leave {:.1}% uncovered", u1000 * 100.0);
+    // Monotone decrease across the sweep.
+    let series: Vec<f64> = [10, 100, 500, 1000].iter().map(|&s| uncovered(s)).collect();
+    for w in series.windows(2) {
+        assert!(w[0] > w[1], "uncovered fraction must fall with size: {series:?}");
+    }
+}
+
+#[test]
+fn fig2_gap_structure() {
+    let vt = taipei_table();
+    let mut rng = run_rng(2, 0);
+    let subset = sample_indices(&mut rng, vt.sat_count(), 100);
+    let stats = CoverageStats::from_bitset(&vt.coverage_union(&subset, 0), &vt.grid);
+    // Paper: continuous gaps of up to over an hour at 100 satellites.
+    assert!(
+        stats.max_gap_s > 1800.0,
+        "expected long gaps at 100 sats, max {}",
+        stats.max_gap_s
+    );
+    assert!(stats.gap_count > 10, "coverage is fragmented, {} gaps", stats.gap_count);
+}
+
+#[test]
+fn fig3_idle_claims_at_reduced_fidelity() {
+    let pool = starlink_gen1_pool(epoch());
+    let mut rng = run_rng(3, 0);
+    let sample = sample_indices(&mut rng, pool.len(), 200);
+    let sats: Vec<_> = sample.iter().map(|&i| pool[i].clone()).collect();
+    let cities = geodata::paper_cities();
+    let sites = geodata::to_sites(&cities);
+    let grid = TimeGrid::new(epoch(), 86_400.0, 120.0);
+    let vt = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default());
+
+    // Paper: ~99% idle serving one city.
+    let idle1 = mean_idle_fraction(&vt, &[0]);
+    assert!(idle1 > 0.97, "idle at 1 city {idle1}");
+    // Idle monotonically non-increasing as the served set grows.
+    let mut last = idle1;
+    for n in [3usize, 7, 14, 21] {
+        let served: Vec<usize> = (0..n).collect();
+        let idle = mean_idle_fraction(&vt, &served);
+        assert!(idle <= last + 1e-12, "{n} cities: idle {idle} > previous {last}");
+        last = idle;
+    }
+    assert!(last < idle1, "global sharing must beat single-city serving");
+}
+
+#[test]
+fn single_satellite_minutes_per_day() {
+    // Paper §1: "a single satellite can only offer few (less than ten)
+    // minutes of coverage per day to a given region" — our elevation mask
+    // and orbit model must land in that ballpark (allow up to ~25 min for
+    // geometry-lucky satellites).
+    let vt = taipei_table();
+    let mut best = 0.0f64;
+    let mut total = 0.0;
+    let mut counted = 0;
+    for s in 0..vt.sat_count() {
+        let frac = vt.bitset(s, 0).fraction_ones();
+        let per_day_min = frac * 86_400.0 / 60.0;
+        best = best.max(per_day_min);
+        total += per_day_min;
+        counted += 1;
+    }
+    let mean = total / counted as f64;
+    assert!(mean < 10.0, "mean visibility {mean:.1} min/day");
+    assert!(best < 40.0, "best-case visibility {best:.1} min/day");
+}
+
+#[test]
+fn population_weighting_pipeline() {
+    let pool = starlink_gen1_pool(epoch());
+    let cities = geodata::paper_cities();
+    let sites = geodata::to_sites(&cities);
+    let weights = geodata::population_weights(&cities);
+    let grid = TimeGrid::new(epoch(), 12.0 * 3600.0, 120.0);
+    let mut rng = run_rng(4, 0);
+    let sample = sample_indices(&mut rng, pool.len(), 300);
+    let sats: Vec<_> = sample.iter().map(|&i| pool[i].clone()).collect();
+    let vt = VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default());
+    let all: Vec<usize> = (0..sats.len()).collect();
+    let cov = mpleo::placement::weighted_coverage_s(&vt, &all, &weights);
+    assert!(cov > 0.0 && cov <= grid.duration_s() + grid.step_s);
+    // Weighted coverage is a convex combination: bounded by best/worst site.
+    let fracs: Vec<f64> = (0..sites.len())
+        .map(|site| vt.coverage_union(&all, site).fraction_ones())
+        .collect();
+    let frac = cov / grid.duration_s();
+    let lo = fracs.iter().cloned().fold(1.0f64, f64::min);
+    let hi = fracs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(frac >= lo - 0.01 && frac <= hi + 0.01, "{lo} <= {frac} <= {hi}");
+}

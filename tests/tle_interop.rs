@@ -1,0 +1,96 @@
+//! TLE interoperability: constellations exported as TLE text must survive
+//! the round trip and drive both propagators to consistent coverage — the
+//! property that lets MP-LEO parties exchange ephemerides in the standard
+//! format, as the paper's CosmicBeats workflow does.
+
+use leosim::visibility::{PropagatorKind, SimConfig, VisibilityTable};
+use leosim::TimeGrid;
+use orbital::constellation::{single_plane, walker_delta, ShellSpec};
+use orbital::propagator::{KeplerJ2, Propagator, Sgp4};
+use orbital::time::Epoch;
+use orbital::tle::Tle;
+
+fn epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+#[test]
+fn whole_constellation_tle_roundtrip() {
+    let spec = ShellSpec { planes: 6, sats_per_plane: 6, ..ShellSpec::starlink_like() };
+    let sats = walker_delta(&spec, epoch());
+    // Export to a single TLE file blob and reparse.
+    let blob: String = sats.iter().map(|s| format!("{}\n", s.to_tle())).collect();
+    let mut reparsed = Vec::new();
+    let lines: Vec<&str> = blob.lines().collect();
+    let mut i = 0;
+    while i + 2 < lines.len() + 1 {
+        let chunk = lines[i..(i + 3).min(lines.len())].join("\n");
+        if chunk.trim().is_empty() {
+            break;
+        }
+        reparsed.push(Tle::parse(&chunk).expect("exported TLE parses"));
+        i += 3;
+    }
+    assert_eq!(reparsed.len(), sats.len());
+    for (sat, tle) in sats.iter().zip(&reparsed) {
+        assert_eq!(tle.name, sat.name);
+        let el = tle.to_elements();
+        assert!((el.inclination_rad - sat.elements.inclination_rad).abs() < 1e-4);
+        assert!(
+            orbital::math::wrap_pi(el.raan_rad - sat.elements.raan_rad).abs() < 1e-4,
+            "{}",
+            sat.name
+        );
+        assert!((el.semi_major_axis_km - sat.elements.semi_major_axis_km).abs() < 1.0);
+    }
+}
+
+#[test]
+fn tle_driven_sgp4_matches_element_driven_keplerj2() {
+    // Positions from the TLE-driven SGP4 path stay within tens of km of the
+    // direct KeplerJ2 path over a day (short-period + formatting quanta).
+    let sats = single_plane(4, 550.0, 53.0, epoch());
+    for sat in &sats {
+        let kj2 = KeplerJ2::from_elements(&sat.elements, sat.epoch);
+        let tle = sat.to_tle();
+        let text = tle.to_string();
+        let back = Tle::parse(&text).unwrap();
+        let sgp4 = Sgp4::from_tle(&back).unwrap();
+        for minutes in [0.0, 60.0, 360.0, 1440.0] {
+            let t = epoch().plus_minutes(minutes);
+            let d = (kj2.propagate(t).position - sgp4.propagate(t).position).norm();
+            assert!(d < 60.0, "{} at {minutes} min: {d} km", sat.name);
+        }
+    }
+}
+
+#[test]
+fn coverage_consistent_across_propagators() {
+    // The coverage *statistics* (what the experiments consume) must be
+    // nearly identical whichever propagator runs underneath.
+    let sats = single_plane(10, 550.0, 53.0, epoch());
+    let sites = [geodata::taipei()];
+    let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+    let idx: Vec<usize> = (0..sats.len()).collect();
+    let frac = |kind: PropagatorKind| {
+        let cfg = SimConfig { propagator: kind, ..Default::default() };
+        let vt = VisibilityTable::compute(&sats, &sites, &grid, &cfg);
+        vt.coverage_union(&idx, 0).fraction_ones()
+    };
+    let a = frac(PropagatorKind::KeplerJ2);
+    let b = frac(PropagatorKind::Sgp4);
+    assert!((a - b).abs() < 0.01, "KeplerJ2 {a} vs SGP4 {b}");
+}
+
+#[test]
+fn foreign_tle_rejected_cleanly() {
+    // Corrupt inputs must produce typed errors, not panics — parties will
+    // exchange TLEs over the network.
+    assert!(Tle::parse("").is_err());
+    assert!(Tle::parse("garbage\nmore garbage").is_err());
+    let sats = single_plane(1, 550.0, 53.0, epoch());
+    let good = sats[0].to_tle().to_string();
+    let mut corrupted = good.replace('5', "6");
+    corrupted.truncate(corrupted.len() - 1);
+    assert!(Tle::parse(&corrupted).is_err());
+}
