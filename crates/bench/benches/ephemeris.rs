@@ -1,0 +1,67 @@
+//! Ephemeris-layer benchmarks: the one-time cost of building the columnar
+//! `EphemerisStore`, and what the store buys — the visibility kernel run
+//! from precomputed positions vs the fused propagate-and-test path.
+//!
+//! The ratio between `visibility_from_store` and the one-shot
+//! `VisibilityTable::compute` is the amortized saving every extra consumer
+//! of the same store enjoys (e.g. `ablation_elevation` runs three masks off
+//! one build: ~3x less propagation than the pre-store code).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leosim::ephemeris::EphemerisStore;
+use leosim::visibility::{SimConfig, VisibilityTable};
+use leosim::TimeGrid;
+use orbital::constellation::{walker_delta, ShellSpec};
+use orbital::time::Epoch;
+
+fn epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+fn bench_store_build(c: &mut Criterion) {
+    let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 120.0);
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("ephemeris_store_build_6h");
+    for sats in [50u32, 200] {
+        let spec = ShellSpec {
+            planes: sats / 10,
+            sats_per_plane: 10,
+            ..ShellSpec::starlink_like()
+        };
+        let constellation = walker_delta(&spec, epoch());
+        g.bench_with_input(BenchmarkId::from_parameter(sats), &constellation, |b, cons| {
+            b.iter(|| std::hint::black_box(EphemerisStore::build(cons, &grid, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_visibility_from_store(c: &mut Criterion) {
+    // Geometry kernel only: elevation tests against already-propagated
+    // positions. Compare with `visibility_table_6h_21cities` (same shape,
+    // propagation fused in) to see the split between the two costs.
+    let sites = geodata::to_sites(&geodata::paper_cities());
+    let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 120.0);
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("visibility_from_store_6h_21cities");
+    for sats in [50u32, 200] {
+        let spec = ShellSpec {
+            planes: sats / 10,
+            sats_per_plane: 10,
+            ..ShellSpec::starlink_like()
+        };
+        let constellation = walker_delta(&spec, epoch());
+        let store = EphemerisStore::build(&constellation, &grid, &cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(sats), &store, |b, store| {
+            b.iter(|| std::hint::black_box(VisibilityTable::from_store(store, &sites, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_store_build, bench_visibility_from_store
+}
+criterion_main!(benches);

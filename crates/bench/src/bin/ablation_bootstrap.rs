@@ -11,7 +11,6 @@
 
 use leosim::dtn::{dtn_stats, simulate_dtn};
 use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
 use mpleo::bootstrap::{simulate_bootstrap, EmissionSchedule};
 use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
 use orbital::ground::GroundSite;
@@ -30,9 +29,8 @@ fn main() {
     for &n in &[4usize, 10, 25, 100] {
         let mut rng = run_rng(0xAB5, n as u64);
         let idx = sample_indices(&mut rng, ctx.pool.len(), n);
-        let sats: Vec<_> = idx.iter().map(|&i| ctx.pool[i].clone()).collect();
-        let vt_t = VisibilityTable::compute(&sats, &terminal, &ctx.grid, &ctx.config);
-        let vt_g = VisibilityTable::compute(&sats, &gs, &ctx.grid, &ctx.config);
+        let vt_t = ctx.subset_table(&idx, &terminal);
+        let vt_g = ctx.subset_table(&idx, &gs);
         let all: Vec<usize> = (0..n).collect();
         let hourly = (3600.0 / ctx.grid.step_s) as usize;
         let deliveries = simulate_dtn(&vt_t, &vt_g, 0, &all, &[0], hourly);
@@ -53,8 +51,7 @@ fn main() {
     // --- Part 2: early-adopter token economics -------------------------
     println!("\n[2] token emission across 5 joining parties (greedy gap-filling placement)");
     let sub = sample_indices(&mut run_rng(0xAB5, 99), ctx.pool.len(), 400);
-    let pool_sats: Vec<_> = sub.iter().map(|&i| ctx.pool[i].clone()).collect();
-    let vt = VisibilityTable::compute(&pool_sats, &ctx.sites, &ctx.grid, &ctx.config);
+    let vt = ctx.subset_table(&sub, &ctx.sites);
     let parties = ["round0", "round1", "round2", "round3", "round4"];
     for (label, schedule) in [
         ("with 3x early-adopter bonus (decay 0.5/round)", EmissionSchedule::default()),

@@ -8,7 +8,6 @@
 //! their services".
 
 use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
 use mpleo::downlink::{simulate_downlink, DownlinkConfig, DownlinkPolicy};
 use mpleo_bench::{print_table, Context, Fidelity};
 use orbital::ground::GroundSite;
@@ -21,14 +20,13 @@ fn main() {
     let n = if fidelity.full { 60 } else { 30 };
     let mut rng = run_rng(0xABA, 0);
     let idx = sample_indices(&mut rng, ctx.pool.len(), n);
-    let sats: Vec<_> = idx.iter().map(|&i| ctx.pool[i].clone()).collect();
     // Three ground stations on three continents.
     let gs = [
         GroundSite::from_degrees("GS-Taiwan", 24.8, 121.0),
         GroundSite::from_degrees("GS-Germany", 50.1, 8.7),
         GroundSite::from_degrees("GS-Chile", -33.4, -70.7),
     ];
-    let vt = VisibilityTable::compute(&sats, &gs, &ctx.grid, &ctx.config.clone().with_mask_deg(10.0));
+    let vt = ctx.subset_table_config(&idx, &gs, &ctx.config.clone().with_mask_deg(10.0));
     let all: Vec<usize> = (0..n).collect();
 
     let mut rows = Vec::new();

@@ -7,7 +7,6 @@
 
 use leosim::coverage::CoverageStats;
 use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
 use mpleo::economics::{go_it_alone, mp_leo_share, CostModel};
 use mpleo_bench::{print_table, Context, Fidelity};
 
@@ -18,7 +17,7 @@ fn main() {
     // Measure the size -> availability curve (Fig. 2's data).
     let ctx = Context::new(&fidelity);
     let taipei = [geodata::taipei()];
-    let vt = VisibilityTable::compute(&ctx.pool, &taipei, &ctx.grid, &ctx.config);
+    let vt = ctx.table_for(&taipei);
     let sizes = [10usize, 50, 100, 200, 500, 1000, 2000];
     let mut curve = Vec::new();
     for &size in &sizes {

@@ -8,7 +8,6 @@
 
 use leosim::coverage::{Aggregate, CoverageStats};
 use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
 use mpleo_bench::{print_table, Context, Fidelity};
 
 fn main() {
@@ -22,8 +21,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for &mask in &masks {
+        // Positions don't depend on the mask: one shared propagation pass
+        // (via the context's ephemeris store) serves all three masks, where
+        // this loop used to re-propagate the full pool per mask.
         let cfg = ctx.config.clone().with_mask_deg(mask);
-        let vt = VisibilityTable::compute(&ctx.pool, &taipei, &ctx.grid, &cfg);
+        let vt = ctx.table_for_config(&taipei, &cfg);
         for &size in &sizes {
             let mut unc = Vec::new();
             for run in 0..fidelity.runs {

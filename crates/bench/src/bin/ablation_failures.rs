@@ -7,7 +7,6 @@
 //! without a replenishment launch cadence.
 
 use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
 use mpleo::failures::{simulate_failures, FailureModel};
 use mpleo_bench::{print_table, Context, Fidelity};
 
@@ -20,8 +19,7 @@ fn main() {
     let n = if fidelity.full { 500 } else { 200 };
     let mut rng = run_rng(0xAB9, 0);
     let idx = sample_indices(&mut rng, ctx.pool.len(), n);
-    let sats: Vec<_> = idx.iter().map(|&i| ctx.pool[i].clone()).collect();
-    let vt = VisibilityTable::compute(&sats, &taipei, &ctx.grid, &ctx.config);
+    let vt = ctx.subset_table(&idx, &taipei);
     let all: Vec<usize> = (0..n).collect();
     let window = (3600.0 / ctx.grid.step_s).max(1.0) as usize;
 

@@ -7,9 +7,8 @@
 //! ISL-relay design where traffic may hop between satellites to reach a
 //! ground station.
 
-use leosim::bentpipe::{bentpipe_connectivity, isl_connectivity};
+use leosim::bentpipe::{bentpipe_connectivity, isl_connectivity_from_store};
 use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
 use mpleo_bench::{print_table, Context, Fidelity};
 use orbital::ground::GroundSite;
 
@@ -26,16 +25,18 @@ fn main() {
     let sample = if fidelity.full { 400 } else { 150 };
     let mut rng = run_rng(0xAB2, 0);
     let idx = sample_indices(&mut rng, ctx.pool.len(), sample);
-    let sats: Vec<_> = idx.iter().map(|&i| ctx.pool[i].clone()).collect();
+    // One copied ephemeris slice serves the visibility tables and both ISL
+    // proximity graphs — the pool is propagated once for all four rows.
+    let store = ctx.subset_ephemeris(&idx);
 
-    let vt_t = VisibilityTable::compute(&sats, &terminal, &ctx.grid, &ctx.config);
-    let vt_g = VisibilityTable::compute(&sats, &gs, &ctx.grid, &ctx.config);
-    let plain: Vec<usize> = (0..sats.len()).collect();
+    let vt_t = ctx.subset_table(&idx, &terminal);
+    let vt_g = ctx.subset_table(&idx, &gs);
+    let plain: Vec<usize> = (0..idx.len()).collect();
     let visibility = vt_t.coverage_union(&plain, 0).fraction_ones();
 
     let bp = bentpipe_connectivity(&vt_t, &vt_g);
-    let isl1 = isl_connectivity(&sats, &terminal, &gs, &ctx.grid, &ctx.config, 3000.0, 1);
-    let isl4 = isl_connectivity(&sats, &terminal, &gs, &ctx.grid, &ctx.config, 3000.0, 4);
+    let isl1 = isl_connectivity_from_store(&store, &terminal, &gs, &ctx.config, 3000.0, 1);
+    let isl4 = isl_connectivity_from_store(&store, &terminal, &gs, &ctx.config, 3000.0, 4);
 
     let rows = vec![
         vec!["satellite visibility (upper bound)".into(), pct(visibility)],

@@ -5,7 +5,7 @@
 //! measures the actual bent-pipe delay distribution through the MP-LEO
 //! constellation and compares it with the closed-form GEO path.
 
-use leosim::latency::{bentpipe_latency, geo_latency_ms};
+use leosim::latency::{bentpipe_latency_from_store, geo_latency_ms};
 use leosim::montecarlo::{run_rng, sample_indices};
 use mpleo_bench::{print_table, Context, Fidelity};
 use orbital::ground::GroundSite;
@@ -18,11 +18,11 @@ fn main() {
     let sample = if fidelity.full { 600 } else { 200 };
     let mut rng = run_rng(0xAB4, 0);
     let idx = sample_indices(&mut rng, ctx.pool.len(), sample);
-    let sats: Vec<_> = idx.iter().map(|&i| ctx.pool[i].clone()).collect();
+    let store = ctx.subset_ephemeris(&idx);
 
     let terminal = GroundSite::from_degrees("Taipei", 25.03, 121.56);
     let gs = GroundSite::from_degrees("Kaohsiung-GS", 22.63, 120.30);
-    let series = bentpipe_latency(&sats, &terminal, &gs, &ctx.grid, &ctx.config);
+    let series = bentpipe_latency_from_store(&store, &terminal, &gs, &ctx.config);
 
     let mut rows = Vec::new();
     rows.push(vec![

@@ -6,7 +6,6 @@
 //! both models and compares how revenue tracks stake.
 
 use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
 use mpleo::incentives::{service_records, settle, visible_count_matrix, PricingModel};
 use mpleo::party::{allocate_by_ratio, skewed_ratios, PartyId};
 use mpleo_bench::{print_table, Context, Fidelity};
@@ -20,11 +19,10 @@ fn main() {
     let sample = if fidelity.full { 250 } else { 100 };
     let mut rng = run_rng(0xAB3, 0);
     let idx = sample_indices(&mut rng, ctx.pool.len(), sample);
-    let sats: Vec<_> = idx.iter().map(|&i| ctx.pool[i].clone()).collect();
     // Five consumer cities; consumers are a separate party so the whole
     // provider side is revenue-positive.
     let sites = &ctx.sites[..5];
-    let vt = VisibilityTable::compute(&sats, sites, &ctx.grid, &ctx.config);
+    let vt = ctx.subset_table(&idx, sites);
 
     // Stakes 3:1:1 over the sample, interleaved.
     let counts = allocate_by_ratio(sample, &skewed_ratios(3.0, 2));

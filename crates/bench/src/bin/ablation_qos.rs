@@ -7,7 +7,6 @@
 
 use leosim::coverage::CoverageStats;
 use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
 use mpleo::handover::{simulate_handover, HandoverPolicy};
 use mpleo::sla::quote;
 use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
@@ -18,7 +17,7 @@ fn main() {
 
     let ctx = Context::new(&fidelity);
     let taipei = [geodata::taipei()];
-    let vt = VisibilityTable::compute(&ctx.pool, &taipei, &ctx.grid, &ctx.config);
+    let vt = ctx.table_for(&taipei);
 
     let mut rows = Vec::new();
     for &size in &[25usize, 100, 300, 700, 1500] {

@@ -4,17 +4,18 @@
 //! path on every orbit (color red -> blue with time). This binary prints the
 //! lat/lon series and summarizes the westward drift per orbit.
 
+use leosim::ephemeris::EphemerisStore;
+use leosim::visibility::SimConfig;
+use leosim::TimeGrid;
 use mpleo_bench::{print_table, scenario_epoch};
 use orbital::constellation::single_plane;
-use orbital::frames::subpoint;
-use orbital::propagator::{KeplerJ2, Propagator};
+use orbital::frames::ecef_to_geodetic;
 
 fn main() {
     println!("=== Fig 1a: orbital motion of a LEO satellite across three hours ===");
     let epoch = scenario_epoch();
-    let sat = &single_plane(1, 550.0, 53.0, epoch)[0];
-    let prop = KeplerJ2::from_elements(&sat.elements, epoch);
-    let period_s = sat.elements.period_s();
+    let sats = single_plane(1, 550.0, 53.0, epoch);
+    let period_s = sats[0].elements.period_s();
     println!("satellite: 550 km, 53 deg inclination, period {:.1} min", period_s / 60.0);
 
     let mut rows = Vec::new();
@@ -26,10 +27,13 @@ fn main() {
     // drift table below has several rows even though the figure's track
     // spans 3 hours.
     let crossing_horizon_s = 4.2 * period_s;
-    let mut t = 0.0;
-    while t <= crossing_horizon_s {
-        let e = epoch.plus_seconds(t);
-        let g = subpoint(prop.propagate(e).position, e.gmst());
+    let grid = TimeGrid::new(epoch, crossing_horizon_s, step_s);
+    // The store already holds ECEF positions, so the sub-satellite point is
+    // a direct geodetic conversion — no per-step propagation here.
+    let store = EphemerisStore::build(&sats, &grid, &SimConfig::default());
+    for k in 0..grid.steps {
+        let t = k as f64 * step_s;
+        let g = ecef_to_geodetic(store.position(0, k));
         let (lat, lon) = (g.latitude_deg(), g.longitude_deg());
         if t <= horizon_s && (t as u64).is_multiple_of(600) {
             rows.push(vec![
@@ -44,7 +48,6 @@ fn main() {
             }
         }
         last = Some((lat, lon));
-        t += step_s;
     }
     print_table(&["t (min)", "lat (deg)", "lon (deg)"], &rows);
 

@@ -17,7 +17,7 @@ fn main() {
 
     let ctx = Context::new(&fidelity);
     let taipei = [geodata::taipei()];
-    let vt = VisibilityTable::compute(&ctx.pool, &taipei, &ctx.grid, &ctx.config);
+    let vt = ctx.table_for(&taipei);
     run(&vt, &fidelity);
 }
 

@@ -21,8 +21,7 @@ fn main() {
     let sample_size = if fidelity.full { 1000 } else { 300 };
     let mut rng = run_rng(0xF163, 0);
     let sample = sample_indices(&mut rng, ctx.pool.len(), sample_size);
-    let sats: Vec<_> = sample.iter().map(|&i| ctx.pool[i].clone()).collect();
-    let vt = VisibilityTable::compute(&sats, &ctx.sites, &ctx.grid, &ctx.config);
+    let vt = ctx.subset_table(&sample, &ctx.sites);
     run(&vt, sample_size);
 }
 

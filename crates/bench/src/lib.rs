@@ -15,11 +15,14 @@
 //! EXPERIMENTS.md can record paper-vs-measured unambiguously.
 
 use geodata::{paper_cities, population_weights, City};
+use leosim::ephemeris::EphemerisStore;
 use leosim::visibility::{SimConfig, VisibilityTable};
 use leosim::TimeGrid;
 use orbital::constellation::{starlink_gen1_pool, Satellite};
 use orbital::ground::GroundSite;
 use orbital::time::Epoch;
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Experiment fidelity settings.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +82,9 @@ pub struct Context {
     pub grid: TimeGrid,
     /// Link configuration.
     pub config: SimConfig,
+    /// The pool-wide ephemeris, propagated lazily at most once per process
+    /// and shared by every table/figure this context produces.
+    ephemeris: OnceLock<EphemerisStore>,
 }
 
 impl Context {
@@ -90,19 +96,88 @@ impl Context {
         let sites = geodata::to_sites(&cities);
         let weights = population_weights(&cities);
         let grid = TimeGrid::new(epoch, fidelity.horizon_s, fidelity.step_s);
-        Context { pool, cities, sites, weights, grid, config: SimConfig::default() }
+        Context {
+            pool,
+            cities,
+            sites,
+            weights,
+            grid,
+            config: SimConfig::default(),
+            ephemeris: OnceLock::new(),
+        }
+    }
+
+    /// The pool-wide ephemeris store: propagate the ~4.4k-satellite pool
+    /// over the grid exactly once per process and reuse it for every table,
+    /// mask, sample and figure. When the `MPLEO_EPHEMERIS_CACHE` environment
+    /// variable (or `--ephemeris-cache` in the CLI) names a file, the store
+    /// is also cached there across processes, keyed by
+    /// (pool hash, grid, propagator).
+    pub fn pool_ephemeris(&self) -> &EphemerisStore {
+        self.ephemeris.get_or_init(|| {
+            let cache = ephemeris_cache_from_env();
+            EphemerisStore::load_or_build(&self.pool, &self.grid, &self.config, cache.as_deref())
+        })
     }
 
     /// Compute the pool-wide visibility table against the 21 cities.
-    /// This is the expensive step every sampling experiment shares.
+    /// Pure geometry over [`Context::pool_ephemeris`].
     pub fn city_table(&self) -> VisibilityTable {
-        VisibilityTable::compute(&self.pool, &self.sites, &self.grid, &self.config)
+        self.table_for(&self.sites)
     }
 
-    /// Compute a visibility table against a custom site list.
+    /// Compute a visibility table against a custom site list, reusing the
+    /// shared pool ephemeris.
     pub fn table_for(&self, sites: &[GroundSite]) -> VisibilityTable {
-        VisibilityTable::compute(&self.pool, sites, &self.grid, &self.config)
+        self.table_for_config(sites, &self.config)
     }
+
+    /// [`Context::table_for`] with a custom config (e.g. a different
+    /// elevation mask). `config.propagator` must match the context's — the
+    /// shared store was propagated with the context's model.
+    pub fn table_for_config(&self, sites: &[GroundSite], config: &SimConfig) -> VisibilityTable {
+        assert_eq!(
+            config.propagator, self.config.propagator,
+            "shared ephemeris was built with the context's propagator"
+        );
+        VisibilityTable::from_store(self.pool_ephemeris(), sites, config)
+    }
+
+    /// Visibility table for a subset of pool rows (table order follows
+    /// `indices`), reusing the shared pool ephemeris — no re-propagation.
+    pub fn subset_table(&self, indices: &[usize], sites: &[GroundSite]) -> VisibilityTable {
+        self.subset_table_config(indices, sites, &self.config)
+    }
+
+    /// [`Context::subset_table`] with a custom config (same propagator rule
+    /// as [`Context::table_for_config`]).
+    pub fn subset_table_config(
+        &self,
+        indices: &[usize],
+        sites: &[GroundSite],
+        config: &SimConfig,
+    ) -> VisibilityTable {
+        assert_eq!(
+            config.propagator, self.config.propagator,
+            "shared ephemeris was built with the context's propagator"
+        );
+        VisibilityTable::from_store_subset(self.pool_ephemeris(), indices, sites, config)
+    }
+
+    /// A standalone ephemeris store for a subset of pool rows (row order
+    /// follows `indices`), copied from the shared store without
+    /// re-propagating.
+    pub fn subset_ephemeris(&self, indices: &[usize]) -> EphemerisStore {
+        self.pool_ephemeris().select(indices)
+    }
+}
+
+/// The ephemeris disk-cache path configured via `MPLEO_EPHEMERIS_CACHE`
+/// (empty value = disabled).
+pub fn ephemeris_cache_from_env() -> Option<PathBuf> {
+    std::env::var_os("MPLEO_EPHEMERIS_CACHE")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
 }
 
 /// Render a simple aligned table to stdout.
@@ -153,6 +228,22 @@ mod tests {
         assert!((ctx.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(ctx.pool.len() > 4000);
         assert_eq!(ctx.grid.steps, 7);
+    }
+
+    #[test]
+    fn pool_ephemeris_built_once_and_reused() {
+        let f = Fidelity { horizon_s: 3600.0, step_s: 600.0, runs: 1, full: false };
+        let ctx = Context::new(&f);
+        let a: *const EphemerisStore = ctx.pool_ephemeris();
+        let b: *const EphemerisStore = ctx.pool_ephemeris();
+        assert_eq!(a, b, "store must be built at most once per context");
+        let vt = ctx.subset_table(&[0, 5, 9], &ctx.sites[..2]);
+        assert_eq!(vt.sat_count(), 3);
+        assert_eq!(vt.sat_ids[0], ctx.pool[0].id);
+        assert_eq!(vt.sat_ids[1], ctx.pool[5].id);
+        let sub = ctx.subset_ephemeris(&[0, 5, 9]);
+        assert_eq!(sub.sat_count(), 3);
+        assert_eq!(sub.position(1, 0), ctx.pool_ephemeris().position(5, 0));
     }
 
     #[test]

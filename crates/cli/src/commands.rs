@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use leosim::coverage::CoverageStats;
+use leosim::ephemeris::EphemerisStore;
 use leosim::montecarlo::{run_rng, sample_indices};
 use leosim::visibility::{SimConfig, VisibilityTable};
 use leosim::TimeGrid;
@@ -9,6 +10,7 @@ use orbital::conjunction::{congestion_report, screen_all_pairs, ScreeningConfig}
 use orbital::constellation::{satellite_at, starlink_gen1_pool, walker_delta, ShellSpec};
 use orbital::ground::GroundSite;
 use orbital::time::{format_duration, Epoch};
+use std::path::PathBuf;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -34,6 +36,18 @@ pub fn tle(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// The `--ephemeris-cache <path>` flag (also honored via the
+/// `MPLEO_EPHEMERIS_CACHE` environment variable; empty = disabled).
+fn ephemeris_cache(args: &Args) -> Option<PathBuf> {
+    let flag = args.get_str("ephemeris-cache", "");
+    if !flag.is_empty() {
+        return Some(PathBuf::from(flag));
+    }
+    std::env::var_os("MPLEO_EPHEMERIS_CACHE")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
 /// Shared: build a sampled pool visibility table for one site.
 fn site_table(args: &Args, lat: f64, lon: f64) -> Result<(VisibilityTable, usize), Box<dyn std::error::Error>> {
     let sats_n = args.get_usize("sats", 500)?;
@@ -46,16 +60,29 @@ fn site_table(args: &Args, lat: f64, lon: f64) -> Result<(VisibilityTable, usize
     }
     let mut rng = run_rng(0xC11, 0);
     let idx = sample_indices(&mut rng, pool.len(), sats_n);
-    let sats: Vec<_> = idx.iter().map(|&i| pool[i].clone()).collect();
     let site = [GroundSite::from_degrees("site", lat, lon)];
     let grid = TimeGrid::new(epoch(), days * 86_400.0, step);
     let cfg = SimConfig::default().with_mask_deg(mask);
-    Ok((VisibilityTable::compute(&sats, &site, &grid, &cfg), sats_n))
+    let vt = match ephemeris_cache(args) {
+        // With a cache file: propagate (or load) the whole pool once and
+        // slice the sampled rows out of it; repeated invocations with the
+        // same grid then skip propagation entirely.
+        Some(path) => {
+            let store = EphemerisStore::load_or_build(&pool, &grid, &cfg, Some(&path));
+            VisibilityTable::from_store_subset(&store, &idx, &site, &cfg)
+        }
+        // Without one, propagating just the sample is cheaper.
+        None => {
+            let sats: Vec<_> = idx.iter().map(|&i| pool[i].clone()).collect();
+            VisibilityTable::compute(&sats, &site, &grid, &cfg)
+        }
+    };
+    Ok((vt, sats_n))
 }
 
 /// `mpleo coverage` — coverage statistics for a point or named region.
 pub fn coverage(args: &Args) -> CmdResult {
-    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "region"])?;
+    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "region", "ephemeris-cache"])?;
     let region_name = args.get_str("region", "");
     if !region_name.is_empty() {
         return coverage_region(args, &region_name);
@@ -90,6 +117,9 @@ fn coverage_region(args: &Args, name: &str) -> CmdResult {
     let pool = starlink_gen1_pool(epoch());
     if sats_n > pool.len() {
         return Err(format!("--sats {} exceeds the pool of {}", sats_n, pool.len()).into());
+    }
+    if ephemeris_cache(args).is_some() {
+        eprintln!("note: --ephemeris-cache is not used on the regional path (per-receiver grids)");
     }
     let mut rng = run_rng(0xC13, 0);
     let idx = sample_indices(&mut rng, pool.len(), sats_n);
@@ -210,7 +240,7 @@ pub fn screen(args: &Args) -> CmdResult {
 
 /// `mpleo sla` — quote the sellable tier.
 pub fn sla(args: &Args) -> CmdResult {
-    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask"])?;
+    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "ephemeris-cache"])?;
     let lat = args.get_f64("lat", 25.033)?;
     let lon = args.get_f64("lon", 121.565)?;
     let (vt, n) = site_table(args, lat, lon)?;
@@ -298,7 +328,7 @@ pub fn manifest(args: &Args) -> CmdResult {
 }
 /// `mpleo map` — ASCII world coverage map.
 pub fn map(args: &Args) -> CmdResult {
-    args.expect_only(&["sats", "hours", "mask", "rows", "cols"])?;
+    args.expect_only(&["sats", "hours", "mask", "rows", "cols", "ephemeris-cache"])?;
     let sats_n = args.get_usize("sats", 200)?;
     let hours = args.get_f64("hours", 12.0)?;
     let mask = args.get_f64("mask", 25.0)?;
@@ -310,10 +340,19 @@ pub fn map(args: &Args) -> CmdResult {
     }
     let mut rng = run_rng(0xC12, 0);
     let idx = sample_indices(&mut rng, pool.len(), sats_n);
-    let sats: Vec<_> = idx.iter().map(|&i| pool[i].clone()).collect();
     let grid = TimeGrid::new(epoch(), hours * 3600.0, 600.0);
     let cfg = SimConfig::default().with_mask_deg(mask);
-    let map = leosim::coveragemap::CoverageMap::compute(&sats, &grid, &cfg, rows, cols);
+    let map = match ephemeris_cache(args) {
+        Some(path) => {
+            let store = EphemerisStore::load_or_build(&pool, &grid, &cfg, Some(&path));
+            let sub = store.select(&idx);
+            leosim::coveragemap::CoverageMap::compute_from_store(&sub, &cfg, rows, cols)
+        }
+        None => {
+            let sats: Vec<_> = idx.iter().map(|&i| pool[i].clone()).collect();
+            leosim::coveragemap::CoverageMap::compute(&sats, &grid, &cfg, rows, cols)
+        }
+    };
     println!(
         "coverage fraction, {sats_n} satellites, {hours:.0} h horizon, {mask:.0} deg mask"
     );
@@ -433,6 +472,20 @@ mod tests {
     #[test]
     fn cities_lists() {
         assert!(cities(&argv("cities")).is_ok());
+    }
+
+    #[test]
+    fn ephemeris_cache_flag_writes_then_loads() {
+        let path = std::env::temp_dir().join("mpleo-cli-ephemeris-test.eph");
+        let _ = std::fs::remove_file(&path);
+        let cmd = format!(
+            "coverage --sats 40 --days 0.25 --step 300 --ephemeris-cache {}",
+            path.display()
+        );
+        assert!(coverage(&argv(&cmd)).is_ok());
+        assert!(path.exists(), "first run must write the cache file");
+        assert!(coverage(&argv(&cmd)).is_ok(), "second run must load the cache");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -72,6 +72,7 @@ COMMANDS:
                 --lat DEG --lon DEG (default Taipei)
                 --region taiwan|ukraine|korea (overrides lat/lon)
                 --sats N (500) --days D (1) --step S (60) --mask DEG (25)
+                --ephemeris-cache PATH (reuse pool ephemerides on disk)
     plan      suggest gap-filling orbital slots for a new contribution
                 --contribute K (3) --base N (40) --days D (1)
     screen    conjunction screening of a synthesized constellation
@@ -79,10 +80,12 @@ COMMANDS:
                 --threshold KM (10)
     sla       quote the sellable service tier for a point
                 --lat DEG --lon DEG --sats N (500) --days D (1)
+                --ephemeris-cache PATH (reuse pool ephemerides on disk)
     cities    print the embedded 21-city dataset
     map       ASCII world map of coverage fraction
                 --sats N (200) --hours H (12) --mask DEG (25)
                 --rows R (18) --cols C (72)
+                --ephemeris-cache PATH (reuse pool ephemerides on disk)
     audit     fit an orbit from synthetic ranging and audit a publication
                 --forge-raan DEG (0 = honest publication)
     manifest  emit a validated constellation manifest as JSON

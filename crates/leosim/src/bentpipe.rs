@@ -13,12 +13,11 @@
 //! per step.
 
 use crate::bitset::TimeBitset;
+use crate::ephemeris::EphemerisStore;
 use crate::timegrid::TimeGrid;
 use crate::visibility::{SimConfig, VisibilityTable};
 use orbital::constellation::Satellite;
-use orbital::frames::eci_to_ecef;
 use orbital::ground::GroundSite;
-use orbital::propagator::{KeplerJ2, Propagator};
 use serde::{Deserialize, Serialize};
 
 /// Result of a bent-pipe connectivity computation for one terminal.
@@ -68,6 +67,9 @@ pub fn bentpipe_connectivity(
 /// satellite sees it whose ISL-connected component (edges between satellites
 /// closer than `isl_range_km`, up to `max_hops` hops) contains a satellite
 /// that sees a ground station.
+/// Convenience for one-shot callers: builds a throwaway [`EphemerisStore`]
+/// (honoring `config.propagator` and `config.threads`) and delegates to
+/// [`isl_connectivity_from_store`].
 pub fn isl_connectivity(
     sats: &[Satellite],
     terminals: &[GroundSite],
@@ -77,33 +79,44 @@ pub fn isl_connectivity(
     isl_range_km: f64,
     max_hops: usize,
 ) -> Vec<TerminalConnectivity> {
-    let vt_term = VisibilityTable::compute(sats, terminals, grid, config);
-    let vt_gs = VisibilityTable::compute(sats, ground_stations, grid, config);
-    let props: Vec<KeplerJ2> = sats
-        .iter()
-        .map(|s| KeplerJ2::from_elements(&s.elements, s.epoch))
-        .collect();
+    let store = EphemerisStore::build(sats, grid, config);
+    isl_connectivity_from_store(&store, terminals, ground_stations, config, isl_range_km, max_hops)
+}
+
+/// Propagation-free ISL-relay kernel over a prebuilt [`EphemerisStore`]:
+/// both visibility tables and the per-step proximity graph read positions
+/// straight from the store.
+pub fn isl_connectivity_from_store(
+    store: &EphemerisStore,
+    terminals: &[GroundSite],
+    ground_stations: &[GroundSite],
+    config: &SimConfig,
+    isl_range_km: f64,
+    max_hops: usize,
+) -> Vec<TerminalConnectivity> {
+    let n = store.sat_count();
+    let steps = store.steps();
+    let vt_term = VisibilityTable::from_store(store, terminals, config);
+    let vt_gs = VisibilityTable::from_store(store, ground_stations, config);
     let gs_indices: Vec<usize> = (0..ground_stations.len()).collect();
     let sat_to_ground: Vec<TimeBitset> =
-        (0..sats.len()).map(|s| vt_gs.visible_to_any(s, &gs_indices)).collect();
+        (0..n).map(|s| vt_gs.visible_to_any(s, &gs_indices)).collect();
 
     let mut result: Vec<TerminalConnectivity> = terminals
         .iter()
         .map(|t| TerminalConnectivity {
             terminal: t.name.clone(),
-            connected: TimeBitset::zeros(grid.steps),
+            connected: TimeBitset::zeros(steps),
         })
         .collect();
 
-    let mut positions = vec![orbital::Vec3::ZERO; sats.len()];
-    for k in 0..grid.steps {
-        let t = grid.epoch_at(k);
-        let gmst = grid.gmst_at(k);
-        for (i, p) in props.iter().enumerate() {
-            positions[i] = eci_to_ecef(p.position_at(t), gmst);
+    let mut positions = vec![orbital::Vec3::ZERO; n];
+    for k in 0..steps {
+        for (i, slot) in positions.iter_mut().enumerate() {
+            *slot = store.position(i, k);
         }
         // BFS from the set of ground-connected satellites, up to max_hops.
-        let mut reach: Vec<bool> = (0..sats.len()).map(|s| sat_to_ground[s].get(k)).collect();
+        let mut reach: Vec<bool> = (0..n).map(|s| sat_to_ground[s].get(k)).collect();
         let mut frontier: Vec<usize> = reach
             .iter()
             .enumerate()
@@ -115,7 +128,7 @@ pub fn isl_connectivity(
             }
             let mut next = Vec::new();
             for &f in &frontier {
-                for s in 0..sats.len() {
+                for s in 0..n {
                     if !reach[s] && positions[f].distance(positions[s]) <= isl_range_km {
                         reach[s] = true;
                         next.push(s);
@@ -125,7 +138,7 @@ pub fn isl_connectivity(
             frontier = next;
         }
         for (ti, out) in result.iter_mut().enumerate() {
-            let connected = (0..sats.len()).any(|s| reach[s] && vt_term.bitset(s, ti).get(k));
+            let connected = (0..n).any(|s| reach[s] && vt_term.bitset(s, ti).get(k));
             if connected {
                 out.connected.set(k);
             }

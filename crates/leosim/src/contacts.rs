@@ -203,16 +203,34 @@ pub fn contact_volume_bits(
     bits
 }
 
+/// [`contact_volume_bits`] reading satellite positions from a prebuilt
+/// [`crate::ephemeris::EphemerisStore`]. `contact.sat` must index the same
+/// satellite order the store was built from (which holds whenever the
+/// visibility table the plan came from was computed from the same store).
+pub fn contact_volume_bits_from_store(
+    contact: &Contact,
+    site: &orbital::ground::GroundSite,
+    store: &crate::ephemeris::EphemerisStore,
+    leg: &crate::linkbudget::RfLeg,
+) -> f64 {
+    contact_volume_bits(
+        contact,
+        site,
+        |k| store.position(contact.sat, k),
+        leg,
+        store.grid.step_s,
+    )
+}
+
 #[cfg(test)]
 mod volume_tests {
     use super::*;
+    use crate::ephemeris::EphemerisStore;
     use crate::linkbudget::RfLeg;
     use crate::timegrid::TimeGrid;
     use crate::visibility::{SimConfig, VisibilityTable};
     use orbital::constellation::single_plane;
-    use orbital::frames::eci_to_ecef;
     use orbital::ground::GroundSite;
-    use orbital::propagator::{KeplerJ2, Propagator};
 
     #[test]
     fn pass_volume_is_gigabit_scale() {
@@ -220,19 +238,14 @@ mod volume_tests {
         let sats = single_plane(4, 550.0, 53.0, epoch);
         let site = GroundSite::from_degrees("GS", 25.0, 121.5);
         let grid = TimeGrid::new(epoch, 86_400.0, 30.0);
-        let vt = VisibilityTable::compute(&sats, std::slice::from_ref(&site), &grid, &SimConfig::default());
+        let cfg = SimConfig::default();
+        let store = EphemerisStore::build(&sats, &grid, &cfg);
+        let vt = VisibilityTable::from_store(&store, std::slice::from_ref(&site), &cfg);
         let plan = ContactPlan::from_table(&vt);
         assert!(!plan.is_empty());
         let leg = RfLeg::ku_gateway_downlink();
         let c = &plan.contacts[0];
-        let prop = KeplerJ2::from_elements(&sats[c.sat].elements, epoch);
-        let volume = contact_volume_bits(
-            c,
-            &site,
-            |k| eci_to_ecef(prop.position_at(grid.epoch_at(k)), grid.gmst_at(k)),
-            &leg,
-            grid.step_s,
-        );
+        let volume = contact_volume_bits_from_store(c, &site, &store, &leg);
         // A multi-minute Ku pass at hundreds of Mbps delivers gigabits to
         // hundreds of gigabits.
         let gbits = volume / 1e9;
@@ -245,23 +258,15 @@ mod volume_tests {
         let sats = single_plane(2, 550.0, 53.0, epoch);
         let site = GroundSite::from_degrees("GS", 25.0, 121.5);
         let grid = TimeGrid::new(epoch, 86_400.0, 30.0);
-        let vt = VisibilityTable::compute(&sats, std::slice::from_ref(&site), &grid, &SimConfig::default());
+        let cfg = SimConfig::default();
+        let store = EphemerisStore::build(&sats, &grid, &cfg);
+        let vt = VisibilityTable::from_store(&store, std::slice::from_ref(&site), &cfg);
         let plan = ContactPlan::from_table(&vt);
         let leg = RfLeg::ku_gateway_downlink();
         let mut vols: Vec<(usize, f64)> = plan
             .contacts
             .iter()
-            .map(|c| {
-                let prop = KeplerJ2::from_elements(&sats[c.sat].elements, epoch);
-                let v = contact_volume_bits(
-                    c,
-                    &site,
-                    |k| eci_to_ecef(prop.position_at(grid.epoch_at(k)), grid.gmst_at(k)),
-                    &leg,
-                    grid.step_s,
-                );
-                (c.len_steps(), v)
-            })
+            .map(|c| (c.len_steps(), contact_volume_bits_from_store(c, &site, &store, &leg)))
             .collect();
         vols.sort_by_key(|(len, _)| *len);
         if vols.len() >= 2 {

@@ -6,12 +6,11 @@
 //! geometric root of every experiment in the paper. Rendered as ASCII for
 //! terminals and dumped as numbers for plotting.
 
+use crate::ephemeris::EphemerisStore;
 use crate::timegrid::TimeGrid;
 use crate::visibility::SimConfig;
 use orbital::constellation::Satellite;
-use orbital::frames::eci_to_ecef;
 use orbital::ground::GroundSite;
-use orbital::propagator::{KeplerJ2, Propagator};
 use serde::{Deserialize, Serialize};
 
 /// A coverage-fraction grid over the world.
@@ -28,9 +27,25 @@ pub struct CoverageMap {
 impl CoverageMap {
     /// Compute the map: for each cell center, the fraction of grid steps
     /// with at least one satellite above the mask.
+    ///
+    /// Convenience for one-shot callers: builds a throwaway
+    /// [`EphemerisStore`] (honoring `config.propagator` and
+    /// `config.threads`) and delegates to
+    /// [`CoverageMap::compute_from_store`].
     pub fn compute(
         sats: &[Satellite],
         grid: &TimeGrid,
+        config: &SimConfig,
+        rows: usize,
+        cols: usize,
+    ) -> CoverageMap {
+        let store = EphemerisStore::build(sats, grid, config);
+        Self::compute_from_store(&store, config, rows, cols)
+    }
+
+    /// Propagation-free map kernel over a prebuilt [`EphemerisStore`].
+    pub fn compute_from_store(
+        store: &EphemerisStore,
         config: &SimConfig,
         rows: usize,
         cols: usize,
@@ -47,17 +62,12 @@ impl CoverageMap {
                 })
             })
             .collect();
-        let props: Vec<KeplerJ2> = sats
-            .iter()
-            .map(|s| KeplerJ2::from_elements(&s.elements, s.epoch))
-            .collect();
+        let steps = store.steps();
         let mut covered_steps = vec![0usize; sites.len()];
-        let mut positions = vec![orbital::Vec3::ZERO; props.len()];
-        for k in 0..grid.steps {
-            let t = grid.epoch_at(k);
-            let gmst = grid.gmst_at(k);
-            for (i, p) in props.iter().enumerate() {
-                positions[i] = eci_to_ecef(p.position_at(t), gmst);
+        let mut positions = vec![orbital::Vec3::ZERO; store.sat_count()];
+        for k in 0..steps {
+            for (i, slot) in positions.iter_mut().enumerate() {
+                *slot = store.position(i, k);
             }
             for (ci, site) in sites.iter().enumerate() {
                 if positions.iter().any(|&pos| site.sees_ecef_sin(pos, sin_mask)) {
@@ -68,7 +78,7 @@ impl CoverageMap {
         let cells = (0..rows)
             .map(|r| {
                 (0..cols)
-                    .map(|c| covered_steps[r * cols + c] as f64 / grid.steps as f64)
+                    .map(|c| covered_steps[r * cols + c] as f64 / steps as f64)
                     .collect()
             })
             .collect();

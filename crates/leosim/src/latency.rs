@@ -7,12 +7,11 @@
 //! simulation grid, picking the best (lowest-delay) visible satellite at
 //! each step, plus the closed-form GEO comparison.
 
+use crate::ephemeris::EphemerisStore;
 use crate::timegrid::TimeGrid;
 use crate::visibility::SimConfig;
 use orbital::constellation::Satellite;
-use orbital::frames::eci_to_ecef;
 use orbital::ground::GroundSite;
-use orbital::propagator::{KeplerJ2, Propagator};
 use serde::{Deserialize, Serialize};
 
 /// Speed of light, km/s.
@@ -63,6 +62,10 @@ impl LatencySeries {
 /// Compute the bent-pipe one-way latency series: at each step, the best
 /// (minimum path length) satellite visible to *both* the terminal and the
 /// ground station carries the traffic.
+///
+/// Convenience for one-shot callers: builds a throwaway [`EphemerisStore`]
+/// (honoring `config.propagator` and `config.threads`) and delegates to
+/// [`bentpipe_latency_from_store`].
 pub fn bentpipe_latency(
     sats: &[Satellite],
     terminal: &GroundSite,
@@ -70,18 +73,24 @@ pub fn bentpipe_latency(
     grid: &TimeGrid,
     config: &SimConfig,
 ) -> LatencySeries {
+    let store = EphemerisStore::build(sats, grid, config);
+    bentpipe_latency_from_store(&store, terminal, ground_station, config)
+}
+
+/// Propagation-free latency kernel over a prebuilt [`EphemerisStore`].
+pub fn bentpipe_latency_from_store(
+    store: &EphemerisStore,
+    terminal: &GroundSite,
+    ground_station: &GroundSite,
+    config: &SimConfig,
+) -> LatencySeries {
     let sin_mask = config.min_elevation_deg.to_radians().sin();
-    let props: Vec<KeplerJ2> = sats
-        .iter()
-        .map(|s| KeplerJ2::from_elements(&s.elements, s.epoch))
-        .collect();
-    let mut delay_ms = Vec::with_capacity(grid.steps);
-    for k in 0..grid.steps {
-        let t = grid.epoch_at(k);
-        let gmst = grid.gmst_at(k);
+    let steps = store.steps();
+    let mut delay_ms = Vec::with_capacity(steps);
+    for k in 0..steps {
         let mut best: Option<f64> = None;
-        for p in &props {
-            let ecef = eci_to_ecef(p.position_at(t), gmst);
+        for s in 0..store.sat_count() {
+            let ecef = store.position(s, k);
             if terminal.sees_ecef_sin(ecef, sin_mask) && ground_station.sees_ecef_sin(ecef, sin_mask)
             {
                 let path_km = terminal.ecef.distance(ecef) + ecef.distance(ground_station.ecef);
@@ -93,7 +102,7 @@ pub fn bentpipe_latency(
         }
         delay_ms.push(best);
     }
-    LatencySeries { delay_ms, step_s: grid.step_s }
+    LatencySeries { delay_ms, step_s: store.grid.step_s }
 }
 
 /// One-way bent-pipe delay through a geostationary satellite for endpoints

@@ -14,18 +14,21 @@
 //!
 //! 1. [`timegrid::TimeGrid`] — the discrete simulation clock (start, step,
 //!    horizon) with precomputed Earth-rotation angles.
-//! 2. [`visibility::VisibilityTable`] — propagate every satellite over the
-//!    grid once and record, for every site, the steps where the satellite is
-//!    above the elevation mask.
-//! 3. [`bitset::TimeBitset`] — the compact set-of-steps representation with
+//! 2. [`ephemeris::EphemerisStore`] — propagate every satellite over the
+//!    grid exactly once into a columnar table of ECEF positions, shared by
+//!    every downstream consumer (and cacheable to disk across processes).
+//! 3. [`visibility::VisibilityTable`] — a pure geometry kernel over the
+//!    store: for every site, the steps where each satellite is above the
+//!    elevation mask.
+//! 4. [`bitset::TimeBitset`] — the compact set-of-steps representation with
 //!    union/intersection/gap extraction.
-//! 4. [`coverage`] — coverage fraction, gap statistics, and the paper's
+//! 5. [`coverage`] — coverage fraction, gap statistics, and the paper's
 //!    population-weighted coverage-time metric.
-//! 5. [`idle`] — satellite idle-time analysis (Fig. 3).
-//! 6. [`bentpipe`] — transparent bent-pipe connectivity (terminal → satellite
+//! 6. [`idle`] — satellite idle-time analysis (Fig. 3).
+//! 7. [`bentpipe`] — transparent bent-pipe connectivity (terminal → satellite
 //!    → ground station joint visibility) and an ISL-relay variant for the
 //!    §4 ablation.
-//! 7. [`montecarlo`] — seeded sampling harness for the 100-run averages.
+//! 8. [`montecarlo`] — seeded sampling harness for the 100-run averages.
 //!
 //! ## Quick example
 //!
@@ -55,6 +58,7 @@ pub mod contacts;
 pub mod coverage;
 pub mod coveragemap;
 pub mod dtn;
+pub mod ephemeris;
 pub mod idle;
 pub mod latency;
 pub mod linkbudget;
@@ -65,5 +69,6 @@ pub mod visibility;
 
 pub use bitset::TimeBitset;
 pub use coverage::{population_weighted_coverage, CoverageStats};
+pub use ephemeris::EphemerisStore;
 pub use timegrid::TimeGrid;
 pub use visibility::{SimConfig, VisibilityTable};

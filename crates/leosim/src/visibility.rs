@@ -1,17 +1,20 @@
-//! The visibility engine: propagate a constellation over a time grid and
-//! materialize per-(satellite, site) visibility bitsets.
+//! The visibility engine: per-(satellite, site) visibility bitsets over a
+//! time grid.
 //!
-//! This is the expensive, do-once stage of every experiment. Work is
-//! partitioned across threads by satellite (each satellite's propagation is
-//! independent), using `crossbeam` scoped threads so satellite and site
-//! slices can be borrowed without cloning.
+//! Propagation itself lives in the [`crate::ephemeris`] layer;
+//! [`VisibilityTable::from_store`] is a pure, propagation-free geometry
+//! kernel over an [`EphemerisStore`]'s columnar ECEF rows.
+//! [`VisibilityTable::compute`] remains as the one-shot convenience that
+//! builds a throwaway store first. Work is partitioned across threads by
+//! satellite, using `crossbeam` scoped threads so store and site slices can
+//! be borrowed without cloning.
 
 use crate::bitset::TimeBitset;
+use crate::ephemeris::EphemerisStore;
 use crate::timegrid::TimeGrid;
 use orbital::constellation::Satellite;
-use orbital::frames::eci_to_ecef;
 use orbital::ground::GroundSite;
-use orbital::propagator::{KeplerJ2, Propagator, Sgp4};
+use orbital::math::Vec3;
 use serde::{Deserialize, Serialize};
 
 /// Which propagator model to run.
@@ -49,7 +52,7 @@ impl SimConfig {
         self
     }
 
-    fn thread_count(&self) -> usize {
+    pub(crate) fn thread_count(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -77,28 +80,57 @@ pub struct VisibilityTable {
 
 impl VisibilityTable {
     /// Propagate `sats` over `grid` and test visibility against every site.
+    ///
+    /// Convenience for one-shot callers: builds a throwaway
+    /// [`EphemerisStore`] and runs [`VisibilityTable::from_store`] over it.
+    /// Callers that evaluate several masks or consumers on the same pool
+    /// should build the store once and share it.
     pub fn compute(
         sats: &[Satellite],
         sites: &[GroundSite],
         grid: &TimeGrid,
         config: &SimConfig,
     ) -> VisibilityTable {
+        let store = EphemerisStore::build(sats, grid, config);
+        Self::from_store(&store, sites, config)
+    }
+
+    /// The propagation-free geometry kernel: test every satellite row of a
+    /// prebuilt [`EphemerisStore`] against every site. Output is bit-identical
+    /// to [`VisibilityTable::compute`] on the pool the store was built from.
+    pub fn from_store(
+        store: &EphemerisStore,
+        sites: &[GroundSite],
+        config: &SimConfig,
+    ) -> VisibilityTable {
+        let all: Vec<usize> = (0..store.sat_count()).collect();
+        Self::from_store_subset(store, &all, sites, config)
+    }
+
+    /// [`VisibilityTable::from_store`] restricted to the given store rows.
+    /// Table order follows `indices`, so sampling experiments can reuse one
+    /// pool-wide store without copying positions.
+    pub fn from_store_subset(
+        store: &EphemerisStore,
+        indices: &[usize],
+        sites: &[GroundSite],
+        config: &SimConfig,
+    ) -> VisibilityTable {
         let sin_mask = config.min_elevation_deg.to_radians().sin();
-        let threads = config.thread_count().max(1).min(sats.len().max(1));
-        let mut table: Vec<Vec<TimeBitset>> = Vec::with_capacity(sats.len());
-        table.resize_with(sats.len(), Vec::new);
+        let n = indices.len();
+        let threads = config.thread_count().max(1).min(n.max(1));
+        let mut table: Vec<Vec<TimeBitset>> = Vec::with_capacity(n);
+        table.resize_with(n, Vec::new);
 
         // Partition satellites into contiguous chunks, one per worker.
-        let chunk = sats.len().div_ceil(threads).max(1);
+        let chunk = n.div_ceil(threads).max(1);
         let mut slots: Vec<&mut [Vec<TimeBitset>]> = table.chunks_mut(chunk).collect();
         crossbeam::thread::scope(|scope| {
             for (ci, slot) in slots.iter_mut().enumerate() {
-                let sat_chunk = &sats[ci * chunk..(ci * chunk + slot.len()).min(sats.len())];
-                let grid_ref = grid;
-                let prop_kind = config.propagator;
+                let idx_chunk = &indices[ci * chunk..(ci * chunk + slot.len()).min(n)];
                 scope.spawn(move |_| {
-                    for (s, out) in sat_chunk.iter().zip(slot.iter_mut()) {
-                        *out = visibility_row(s, sites, grid_ref, sin_mask, prop_kind);
+                    for (&sat, out) in idx_chunk.iter().zip(slot.iter_mut()) {
+                        *out = visibility_row(store, sat, sites, sin_mask);
                     }
                 });
             }
@@ -106,8 +138,8 @@ impl VisibilityTable {
         .expect("visibility worker panicked");
 
         VisibilityTable {
-            grid: grid.clone(),
-            sat_ids: sats.iter().map(|s| s.id).collect(),
+            grid: store.grid.clone(),
+            sat_ids: indices.iter().map(|&s| store.sat_ids[s]).collect(),
             site_names: sites.iter().map(|s| s.name.clone()).collect(),
             table,
         }
@@ -154,31 +186,19 @@ impl VisibilityTable {
     }
 }
 
+/// Screen one columnar ephemeris row against every site. Positions are read
+/// straight from the store, so this is pure geometry — no propagator here.
 fn visibility_row(
-    sat: &Satellite,
+    store: &EphemerisStore,
+    sat: usize,
     sites: &[GroundSite],
-    grid: &TimeGrid,
     sin_mask: f64,
-    prop_kind: PropagatorKind,
 ) -> Vec<TimeBitset> {
-    let mut row: Vec<TimeBitset> = (0..sites.len()).map(|_| TimeBitset::zeros(grid.steps)).collect();
-    let kj2;
-    let sgp4;
-    let prop: &dyn Propagator = match prop_kind {
-        PropagatorKind::KeplerJ2 => {
-            kj2 = KeplerJ2::from_elements(&sat.elements, sat.epoch);
-            &kj2
-        }
-        PropagatorKind::Sgp4 => {
-            let tle = sat.to_tle();
-            sgp4 = Sgp4::from_tle(&tle).expect("constellation TLEs are near-Earth");
-            &sgp4
-        }
-    };
-    for k in 0..grid.steps {
-        let t = grid.epoch_at(k);
-        let eci = prop.position_at(t);
-        let ecef = eci_to_ecef(eci, grid.gmst_at(k));
+    let steps = store.steps();
+    let mut row: Vec<TimeBitset> = (0..sites.len()).map(|_| TimeBitset::zeros(steps)).collect();
+    let (xs, ys, zs) = store.row(sat);
+    for k in 0..steps {
+        let ecef = Vec3::new(xs[k], ys[k], zs[k]);
         for (si, site) in sites.iter().enumerate() {
             if site.sees_ecef_sin(ecef, sin_mask) {
                 row[si].set(k);
@@ -284,6 +304,30 @@ mod tests {
         let ca = a.coverage_union(&idx, 0).fraction_ones();
         let cb = b.coverage_union(&idx, 0).fraction_ones();
         assert!((ca - cb).abs() < 0.01, "KeplerJ2 {ca} vs SGP4 {cb}");
+    }
+
+    #[test]
+    fn from_store_subset_matches_direct_compute() {
+        use crate::ephemeris::EphemerisStore;
+        let sats = single_plane(6, 550.0, 53.0, epoch());
+        let sites = [taipei(), GroundSite::from_degrees("Tokyo", 35.69, 139.69)];
+        let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 120.0);
+        let cfg = SimConfig::default();
+        let store = EphemerisStore::build(&sats, &grid, &cfg);
+        let picks = [5usize, 2, 0];
+        let sub = VisibilityTable::from_store_subset(&store, &picks, &sites, &cfg);
+        let direct = VisibilityTable::compute(
+            &[sats[5].clone(), sats[2].clone(), sats[0].clone()],
+            &sites,
+            &grid,
+            &cfg,
+        );
+        assert_eq!(sub.sat_ids, direct.sat_ids);
+        for s in 0..picks.len() {
+            for site in 0..sites.len() {
+                assert_eq!(sub.bitset(s, site), direct.bitset(s, site), "sat {s} site {site}");
+            }
+        }
     }
 
     #[test]

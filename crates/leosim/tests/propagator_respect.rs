@@ -1,0 +1,145 @@
+//! Regression tests for the config-plumbing bug fixed by the ephemeris
+//! refactor: `CoverageMap::compute`, `bentpipe_latency`, `isl_connectivity`
+//! and the contact-volume path used to hardcode `KeplerJ2` (and single-
+//! threaded loops), silently ignoring `SimConfig::propagator` and
+//! `SimConfig::threads`. They now all route through `EphemerisStore::build`,
+//! which honors both. These tests pin that behaviour:
+//!
+//! * SGP4-configured runs must differ from KeplerJ2 runs (the models are
+//!   kilometres apart over a day, far beyond any float noise), and must
+//!   agree exactly with an explicitly SGP4-built store — proving the config
+//!   actually reaches the propagation layer.
+//! * Thread count must not change any output bit.
+
+use leosim::bentpipe::{isl_connectivity, isl_connectivity_from_store};
+use leosim::contacts::{contact_volume_bits_from_store, ContactPlan};
+use leosim::coveragemap::CoverageMap;
+use leosim::ephemeris::EphemerisStore;
+use leosim::latency::{bentpipe_latency, bentpipe_latency_from_store};
+use leosim::visibility::{PropagatorKind, SimConfig, VisibilityTable};
+use leosim::TimeGrid;
+use orbital::constellation::{single_plane, walker_delta, ShellSpec};
+use orbital::ground::GroundSite;
+use orbital::time::Epoch;
+
+fn epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+fn kj2() -> SimConfig {
+    SimConfig { propagator: PropagatorKind::KeplerJ2, ..Default::default() }
+}
+
+fn sgp4() -> SimConfig {
+    SimConfig { propagator: PropagatorKind::Sgp4, ..Default::default() }
+}
+
+#[test]
+fn sgp4_positions_differ_from_keplerj2_beyond_tolerance() {
+    let sats = single_plane(4, 550.0, 53.0, epoch());
+    let grid = TimeGrid::new(epoch(), 86_400.0, 300.0);
+    let a = EphemerisStore::build(&sats, &grid, &kj2());
+    let b = EphemerisStore::build(&sats, &grid, &sgp4());
+    let max_sep = (0..a.sat_count())
+        .flat_map(|s| (0..a.steps()).map(move |k| (s, k)))
+        .map(|(s, k)| a.position(s, k).distance(b.position(s, k)))
+        .fold(0.0f64, f64::max);
+    // Well beyond float tolerance; well below a broken model.
+    assert!(max_sep > 0.1, "SGP4 and KeplerJ2 suspiciously close: {max_sep} km");
+    assert!(max_sep < 100.0, "models diverged implausibly: {max_sep} km");
+}
+
+#[test]
+fn coverage_map_respects_configured_propagator() {
+    let spec = ShellSpec { planes: 10, sats_per_plane: 8, ..ShellSpec::starlink_like() };
+    let sats = walker_delta(&spec, epoch());
+    let grid = TimeGrid::new(epoch(), 86_400.0, 600.0);
+    let map_kj2 = CoverageMap::compute(&sats, &grid, &kj2().with_mask_deg(10.0), 18, 36);
+    let map_sgp4 = CoverageMap::compute(&sats, &grid, &sgp4().with_mask_deg(10.0), 18, 36);
+    // The regression: compute() used to hardcode KeplerJ2, making these equal.
+    assert_ne!(map_kj2.cells, map_sgp4.cells, "propagator config ignored by CoverageMap");
+    // And the one-shot path must match the explicit store path exactly.
+    let store = EphemerisStore::build(&sats, &grid, &sgp4());
+    let via_store = CoverageMap::compute_from_store(&store, &sgp4().with_mask_deg(10.0), 18, 36);
+    assert_eq!(map_sgp4.cells, via_store.cells);
+}
+
+#[test]
+fn bentpipe_latency_respects_configured_propagator() {
+    let sats = single_plane(12, 550.0, 53.0, epoch());
+    let term = GroundSite::from_degrees("T", 25.0, 121.5);
+    let gs = GroundSite::from_degrees("G", 25.5, 121.0);
+    let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+    let series_kj2 = bentpipe_latency(&sats, &term, &gs, &grid, &kj2());
+    let series_sgp4 = bentpipe_latency(&sats, &term, &gs, &grid, &sgp4());
+    assert!(series_kj2.availability() > 0.0, "test needs some connectivity");
+    // Kilometre-level position differences shift every delay sample.
+    assert_ne!(series_kj2.delay_ms, series_sgp4.delay_ms, "propagator config ignored by latency");
+    let store = EphemerisStore::build(&sats, &grid, &sgp4());
+    let via_store = bentpipe_latency_from_store(&store, &term, &gs, &sgp4());
+    assert_eq!(series_sgp4.delay_ms, via_store.delay_ms);
+}
+
+#[test]
+fn isl_connectivity_respects_configured_propagator() {
+    let spec = ShellSpec { planes: 6, sats_per_plane: 8, ..ShellSpec::starlink_like() };
+    let sats = walker_delta(&spec, epoch());
+    let term = [GroundSite::from_degrees("T", 25.0, 121.5)];
+    let gs = [GroundSite::from_degrees("G", 40.7, -74.0)];
+    let grid = TimeGrid::new(epoch(), 86_400.0, 60.0);
+    let conn_kj2 = isl_connectivity(&sats, &term, &gs, &grid, &kj2(), 3000.0, 4);
+    let conn_sgp4 = isl_connectivity(&sats, &term, &gs, &grid, &sgp4(), 3000.0, 4);
+    assert_ne!(
+        conn_kj2[0].connected, conn_sgp4[0].connected,
+        "propagator config ignored by isl_connectivity"
+    );
+    let store = EphemerisStore::build(&sats, &grid, &sgp4());
+    let via_store = isl_connectivity_from_store(&store, &term, &gs, &sgp4(), 3000.0, 4);
+    assert_eq!(conn_sgp4[0].connected, via_store[0].connected);
+}
+
+#[test]
+fn contact_volume_respects_configured_propagator() {
+    let sats = single_plane(4, 550.0, 53.0, epoch());
+    let site = GroundSite::from_degrees("GS", 25.0, 121.5);
+    let grid = TimeGrid::new(epoch(), 86_400.0, 30.0);
+    let volume_for = |cfg: &SimConfig| -> f64 {
+        let store = EphemerisStore::build(&sats, &grid, cfg);
+        let vt = VisibilityTable::from_store(&store, std::slice::from_ref(&site), cfg);
+        let plan = ContactPlan::from_table(&vt);
+        let leg = leosim::linkbudget::RfLeg::ku_gateway_downlink();
+        plan.contacts
+            .iter()
+            .map(|c| contact_volume_bits_from_store(c, &site, &store, &leg))
+            .sum()
+    };
+    let v_kj2 = volume_for(&kj2());
+    let v_sgp4 = volume_for(&sgp4());
+    assert!(v_kj2 > 0.0);
+    assert_ne!(
+        v_kj2.to_bits(),
+        v_sgp4.to_bits(),
+        "propagator config ignored by contact volume path"
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_any_consumer_output() {
+    let sats = single_plane(9, 550.0, 53.0, epoch());
+    let term = GroundSite::from_degrees("T", 25.0, 121.5);
+    let gs = GroundSite::from_degrees("G", 25.5, 121.0);
+    let grid = TimeGrid::new(epoch(), 12.0 * 3600.0, 120.0);
+    let c1 = SimConfig { threads: 1, ..Default::default() };
+    let c4 = SimConfig { threads: 4, ..Default::default() };
+    let map1 = CoverageMap::compute(&sats, &grid, &c1.clone().with_mask_deg(10.0), 9, 18);
+    let map4 = CoverageMap::compute(&sats, &grid, &c4.clone().with_mask_deg(10.0), 9, 18);
+    assert_eq!(map1.cells, map4.cells);
+    let l1 = bentpipe_latency(&sats, &term, &gs, &grid, &c1);
+    let l4 = bentpipe_latency(&sats, &term, &gs, &grid, &c4);
+    assert_eq!(l1.delay_ms, l4.delay_ms);
+    let gs_arr = [gs.clone()];
+    let term_arr = [term.clone()];
+    let i1 = isl_connectivity(&sats, &term_arr, &gs_arr, &grid, &c1, 3000.0, 2);
+    let i4 = isl_connectivity(&sats, &term_arr, &gs_arr, &grid, &c4, 3000.0, 2);
+    assert_eq!(i1[0].connected, i4[0].connected);
+}

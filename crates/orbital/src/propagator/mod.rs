@@ -62,6 +62,20 @@ pub trait Propagator: Send + Sync {
     fn position_at(&self, epoch: Epoch) -> Vec3 {
         self.propagate(epoch).position
     }
+
+    /// Batch positions over a uniform time grid: fills `out[k]` with the
+    /// inertial position at `start + k * step_s` seconds.
+    ///
+    /// The default implementation evaluates [`Propagator::position_at`] at
+    /// `start.plus_seconds(k as f64 * step_s)` for each step — the exact
+    /// instants a `leosim` `TimeGrid` produces, so batch and per-step
+    /// propagation are bit-identical. Implementations may override this to
+    /// amortize per-epoch setup (trig series, drag terms) across the grid.
+    fn positions_into(&self, start: Epoch, step_s: f64, out: &mut [Vec3]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.position_at(start.plus_seconds(k as f64 * step_s));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +90,21 @@ mod tests {
         let st = el.state_at_mean_anomaly(0.0);
         assert!(st.specific_energy() < 0.0);
         assert!((st.altitude_km() - 550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_positions_match_per_step() {
+        let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+        let el = ClassicalElements::circular(550.0, deg_to_rad(53.0), 0.3, 1.1);
+        let p = KeplerJ2::from_elements(&el, epoch);
+        let mut batch = vec![Vec3::ZERO; 32];
+        p.positions_into(epoch, 60.0, &mut batch);
+        for (k, got) in batch.iter().enumerate() {
+            let want = p.position_at(epoch.plus_seconds(k as f64 * 60.0));
+            // Bit-identical, not approximately equal: the ephemeris layer
+            // relies on batch == per-step exactly.
+            assert_eq!(*got, want, "step {k}");
+        }
     }
 
     #[test]
