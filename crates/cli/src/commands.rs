@@ -407,6 +407,91 @@ pub fn audit(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `mpleo node` — run a live coordination-protocol node over TCP.
+///
+/// Several invocations on one machine (or across machines) form a real
+/// gossip mesh: point later nodes at earlier ones with `--peers`. Dials
+/// retry with capped exponential backoff and dropped peers are redialed,
+/// so start order does not matter.
+pub fn node(args: &Args) -> CmdResult {
+    args.expect_only(&[
+        "id",
+        "listen",
+        "peers",
+        "parties",
+        "secret",
+        "anti-entropy-ms",
+        "retry-initial-ms",
+        "retry-max-ms",
+        "retry-attempts",
+        "status-secs",
+    ])?;
+    let id = args.get_str("id", "alpha");
+    let listen: std::net::SocketAddr = {
+        let s = args.get_str("listen", "127.0.0.1:0");
+        s.parse().map_err(|_| format!("--listen={s} is not a socket address"))?
+    };
+    let mut peers = Vec::new();
+    for p in args.get_str("peers", "").split(',').filter(|p| !p.trim().is_empty()) {
+        let addr: std::net::SocketAddr =
+            p.trim().parse().map_err(|_| format!("--peers entry '{p}' is not a socket address"))?;
+        peers.push(addr);
+    }
+    // Every process derives the same per-party keys from the shared secret,
+    // standing in for pre-distributed credentials.
+    let secret = args.get_str("secret", "mpleo-demo");
+    let mut keys = dcp::crypto::KeyDirectory::new();
+    for p in args.get_str("parties", "alpha,beta,gamma").split(',') {
+        keys.register_derived(p.trim(), secret.as_bytes());
+    }
+    let mut cfg = dcp::node::NodeConfig::local(id.as_str(), keys);
+    cfg.listen = listen;
+    cfg.advertise = true;
+    cfg.anti_entropy =
+        std::time::Duration::from_millis(args.get_usize("anti-entropy-ms", 1000)? as u64);
+    cfg.backoff = dcp::node::BackoffConfig {
+        initial: std::time::Duration::from_millis(args.get_usize("retry-initial-ms", 100)? as u64),
+        max: std::time::Duration::from_millis(args.get_usize("retry-max-ms", 5000)? as u64),
+        max_attempts: args.get_usize("retry-attempts", 0)? as u32,
+        reconnect: true,
+    };
+    let status_every = std::time::Duration::from_secs(args.get_usize("status-secs", 5)? as u64);
+
+    let rt = tokio::runtime::Builder::new_multi_thread().enable_all().build()?;
+    rt.block_on(async move {
+        let handle = dcp::node::Node::start(cfg).await?;
+        println!("node '{}' listening on {}", handle.node_id(), handle.local_addr);
+        for addr in peers {
+            match handle.connect(addr).await {
+                Ok(()) => println!("connected to {addr}"),
+                Err(e) => eprintln!("warning: could not reach {addr}: {e}"),
+            }
+        }
+        println!("press ctrl-c to stop");
+        let mut ticker = tokio::time::interval(status_every);
+        ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+        ticker.tick().await; // the first tick fires immediately; skip it
+        loop {
+            tokio::select! {
+                _ = tokio::signal::ctrl_c() => break,
+                _ = ticker.tick() => {
+                    println!(
+                        "peers={} items={} confirmed={} settlements={} rejected={}",
+                        handle.peer_count(),
+                        handle.item_count(),
+                        handle.confirmed_count(),
+                        handle.settlements_applied(),
+                        handle.rejected_count(),
+                    );
+                }
+            }
+        }
+        handle.shutdown();
+        println!("node stopped");
+        Ok(())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,7 @@
 //! * `screen`   — conjunction screening of a constellation
 //! * `sla`      — quote the sellable service tier for a point
 //! * `cities`   — print the embedded 21-city dataset
+//! * `node`     — run a live coordination-protocol node over TCP
 //!
 //! Run `mpleo help` (or any subcommand with `--help`-style curiosity) for
 //! usage; every command works offline and completes in seconds.
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         Some("map") => commands::map(&parsed),
         Some("audit") => commands::audit(&parsed),
         Some("manifest") => commands::manifest(&parsed),
+        Some("node") => commands::node(&parsed),
         Some(other) => {
             eprintln!("error: unknown command '{other}'");
             print_help();
@@ -90,6 +92,13 @@ COMMANDS:
                 --forge-raan DEG (0 = honest publication)
     manifest  emit a validated constellation manifest as JSON
                 --parties N (3) --per-party M (4) --name NAME
+    node      run a live coordination-protocol node over TCP
+                --id NAME (alpha) --listen ADDR (127.0.0.1:0)
+                --peers ADDR,ADDR,... (dials retry with backoff)
+                --parties a,b,c (alpha,beta,gamma) --secret S (mpleo-demo)
+                --anti-entropy-ms MS (1000) --status-secs S (5)
+                --retry-initial-ms MS (100) --retry-max-ms MS (5000)
+                --retry-attempts N (0 = unlimited)
     help      this message
 
 All commands run fully offline on a synthetic Starlink-like pool."

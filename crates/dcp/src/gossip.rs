@@ -41,9 +41,14 @@ impl GossipState {
         self.items.contains_key(id)
     }
 
-    /// All held ids (unordered).
+    /// All held ids, sorted. The order matters: anti-entropy announces ids
+    /// in this order, so requests — and therefore payload application — are
+    /// reproducible run-to-run (the testkit's determinism depends on never
+    /// leaking `HashMap` iteration order onto the wire).
     pub fn ids(&self) -> Vec<ItemId> {
-        self.items.keys().cloned().collect()
+        let mut ids: Vec<ItemId> = self.items.keys().cloned().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Get an item by id.

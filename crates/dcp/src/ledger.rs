@@ -10,10 +10,106 @@
 //! that have seen the same item set hold identical ledgers regardless of
 //! arrival order.
 
-use crate::messages::ItemId;
+use crate::messages::{ItemId, SettlementNote};
 use crate::poc::{Attestation, CoverageReceipt};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Implicit counterparty for credit/debit: minting credits `credit`s from
+/// the treasury, burning `debit`s back into it, so the signed sum over all
+/// accounts (treasury included) is an invariant zero.
+pub const TREASURY: &str = "__treasury";
+
+/// Numerical slack for zero-sum checks on f64 credit amounts.
+const CONSERVATION_EPS: f64 = 1e-6;
+
+/// Outcome of applying a settlement batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettlementOutcome {
+    /// The batch was applied for the first time.
+    Applied,
+    /// The batch id was seen before; nothing changed (idempotent replay).
+    Duplicate,
+    /// The batch violates conservation (non-zero-sum) and was refused.
+    Rejected,
+}
+
+/// The party account book: double-entry balances fed by credits, debits,
+/// and idempotent settlement batches.
+///
+/// Invariant: the signed sum of every balance (treasury included) is zero,
+/// no matter how credit/debit/settle calls interleave — each operation is
+/// itself zero-sum, and non-conserving settlements are refused.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accounts {
+    balances: BTreeMap<String, f64>,
+    applied: BTreeSet<String>,
+}
+
+impl Accounts {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move `amount` credits from `from` to `to` (negative amounts flip the
+    /// direction; the move is always zero-sum).
+    pub fn transfer(&mut self, from: &str, to: &str, amount: f64) {
+        *self.balances.entry(from.to_string()).or_default() -= amount;
+        *self.balances.entry(to.to_string()).or_default() += amount;
+    }
+
+    /// Mint `amount` credits to `party` from the treasury.
+    pub fn credit(&mut self, party: &str, amount: f64) {
+        self.transfer(TREASURY, party, amount);
+    }
+
+    /// Burn `amount` credits from `party` back into the treasury.
+    pub fn debit(&mut self, party: &str, amount: f64) {
+        self.transfer(party, TREASURY, amount);
+    }
+
+    /// Apply a zero-sum settlement batch exactly once per `id`. Duplicates
+    /// are no-ops; batches whose deltas do not sum to ~0 are refused.
+    pub fn apply_settlement(
+        &mut self,
+        id: &str,
+        transfers: &BTreeMap<String, f64>,
+    ) -> SettlementOutcome {
+        let net: f64 = transfers.values().sum();
+        if net.abs() > CONSERVATION_EPS {
+            return SettlementOutcome::Rejected;
+        }
+        if !self.applied.insert(id.to_string()) {
+            return SettlementOutcome::Duplicate;
+        }
+        for (party, delta) in transfers {
+            *self.balances.entry(party.clone()).or_default() += delta;
+        }
+        SettlementOutcome::Applied
+    }
+
+    /// Balance of one party (0 if never touched).
+    pub fn balance(&self, party: &str) -> f64 {
+        self.balances.get(party).copied().unwrap_or(0.0)
+    }
+
+    /// All balances (treasury included), sorted for determinism.
+    pub fn balances(&self) -> &BTreeMap<String, f64> {
+        &self.balances
+    }
+
+    /// Signed sum over every account — always ~0 (the conservation
+    /// invariant).
+    pub fn total_imbalance(&self) -> f64 {
+        self.balances.values().sum()
+    }
+
+    /// Number of settlement batches applied so far.
+    pub fn settlements_applied(&self) -> usize {
+        self.applied.len()
+    }
+}
 
 /// Ledger policy parameters (network-wide constants in the prototype).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,12 +154,32 @@ pub struct Ledger {
     /// Policy parameters.
     pub config: LedgerConfig,
     entries: HashMap<ItemId, ReceiptEntry>,
+    #[serde(default)]
+    accounts: Accounts,
 }
 
 impl Ledger {
     /// Empty ledger with the given policy.
     pub fn new(config: LedgerConfig) -> Self {
-        Ledger { config, entries: HashMap::new() }
+        Ledger { config, entries: HashMap::new(), accounts: Accounts::new() }
+    }
+
+    /// Apply a gossiped settlement note to the account book. The note's
+    /// `(epoch, proposer)` id makes replays idempotent; non-zero-sum notes
+    /// are refused. Signature verification is the caller's job (the node
+    /// checks it before applying).
+    pub fn apply_settlement_note(&mut self, note: &SettlementNote) -> SettlementOutcome {
+        self.accounts.apply_settlement(&note.settlement_id(), &note.transfers)
+    }
+
+    /// The party account book (settled balances).
+    pub fn accounts(&self) -> &Accounts {
+        &self.accounts
+    }
+
+    /// Mutable access to the account book (for local credit/debit flows).
+    pub fn accounts_mut(&mut self) -> &mut Accounts {
+        &mut self.accounts
     }
 
     /// Record a receipt under its content id. Idempotent.
@@ -245,6 +361,44 @@ mod tests {
     }
 
     #[test]
+    fn settlement_note_applies_once() {
+        let k = keys();
+        let mut l = Ledger::new(LedgerConfig::default());
+        let mut transfers = BTreeMap::new();
+        transfers.insert("a".to_string(), 3.0);
+        transfers.insert("b".to_string(), -3.0);
+        let note = crate::messages::SettlementNote::create(&k, 1, "a", transfers).unwrap();
+        assert_eq!(l.apply_settlement_note(&note), SettlementOutcome::Applied);
+        assert_eq!(l.apply_settlement_note(&note), SettlementOutcome::Duplicate);
+        assert!((l.accounts().balance("a") - 3.0).abs() < 1e-9);
+        assert!((l.accounts().balance("b") + 3.0).abs() < 1e-9);
+        assert!(l.accounts().total_imbalance().abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_zero_sum_settlement_refused() {
+        let mut acc = Accounts::new();
+        let mut transfers = BTreeMap::new();
+        transfers.insert("a".to_string(), 1.0);
+        transfers.insert("b".to_string(), -0.5);
+        assert_eq!(acc.apply_settlement("s1", &transfers), SettlementOutcome::Rejected);
+        assert_eq!(acc.settlements_applied(), 0);
+        assert_eq!(acc.balance("a"), 0.0);
+    }
+
+    #[test]
+    fn credit_debit_round_trip_conserves() {
+        let mut acc = Accounts::new();
+        acc.credit("a", 10.0);
+        acc.debit("a", 4.0);
+        acc.transfer("a", "b", 2.5);
+        assert!((acc.balance("a") - 3.5).abs() < 1e-9);
+        assert!((acc.balance("b") - 2.5).abs() < 1e-9);
+        assert!((acc.balance(TREASURY) + 6.0).abs() < 1e-9);
+        assert!(acc.total_imbalance().abs() < 1e-9);
+    }
+
+    #[test]
     fn unconfirmed_receipts_mint_nothing() {
         let mut l = Ledger::new(LedgerConfig { quorum: 3, ..Default::default() });
         l.insert_receipt("r1".into(), receipt());
@@ -252,5 +406,87 @@ mod tests {
         assert!(l.reward_balances().is_empty());
         assert_eq!(l.len(), 1);
         assert!(!l.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod settlement_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One step of an arbitrary account-book workload.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Credit(u8, f64),
+        Debit(u8, f64),
+        Settle { id: u8, a: u8, b: u8, amount: f64 },
+    }
+
+    fn party(i: u8) -> String {
+        format!("p{}", i % 5)
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), 0.0..100.0f64).prop_map(|(p, x)| Op::Credit(p, x)),
+            (any::<u8>(), 0.0..100.0f64).prop_map(|(p, x)| Op::Debit(p, x)),
+            (any::<u8>(), any::<u8>(), any::<u8>(), 0.0..100.0f64)
+                .prop_map(|(id, a, b, x)| Op::Settle { id, a, b, amount: x }),
+        ]
+    }
+
+    fn apply(acc: &mut Accounts, op: &Op) {
+        match op {
+            Op::Credit(p, x) => acc.credit(&party(*p), *x),
+            Op::Debit(p, x) => acc.debit(&party(*p), *x),
+            Op::Settle { id, a, b, amount } => {
+                let mut transfers = BTreeMap::new();
+                // A two-party zero-sum batch (a == b degenerates to a
+                // self-transfer of 0, still zero-sum).
+                *transfers.entry(party(*a)).or_insert(0.0) += *amount;
+                *transfers.entry(party(*b)).or_insert(0.0) -= *amount;
+                acc.apply_settlement(&format!("s{id}"), &transfers);
+            }
+        }
+    }
+
+    proptest! {
+        /// Conservation: any interleaving of credit/debit/settle keeps the
+        /// signed total at zero.
+        #[test]
+        fn arbitrary_interleavings_conserve(ops in proptest::collection::vec(op_strategy(), 0..64)) {
+            let mut acc = Accounts::new();
+            for op in &ops {
+                apply(&mut acc, op);
+                prop_assert!(acc.total_imbalance().abs() < 1e-6, "imbalance after {op:?}");
+            }
+        }
+
+        /// Replaying every settlement a second time (in any position) must
+        /// not change any balance: settlement application is idempotent.
+        #[test]
+        fn duplicate_settlement_replay_is_noop(ops in proptest::collection::vec(op_strategy(), 1..48)) {
+            let mut reference = Accounts::new();
+            for op in &ops {
+                apply(&mut reference, op);
+            }
+            let mut replayed = Accounts::new();
+            for op in &ops {
+                apply(&mut replayed, op);
+                if matches!(op, Op::Settle { .. }) {
+                    apply(&mut replayed, op); // immediate replay
+                }
+            }
+            // And a full tail replay of all settlements.
+            for op in &ops {
+                if matches!(op, Op::Settle { .. }) {
+                    apply(&mut replayed, op);
+                }
+            }
+            for (party, bal) in reference.balances() {
+                prop_assert!((replayed.balance(party) - bal).abs() < 1e-6, "{party} diverged");
+            }
+            prop_assert_eq!(reference.settlements_applied(), replayed.settlements_applied());
+        }
     }
 }

@@ -11,6 +11,13 @@
 //!   protocol treats them as opaque and a real deployment would swap in
 //!   Ed25519 without protocol changes.
 //! * [`wire`] — a length-prefixed JSON frame codec with size limits.
+//! * [`transport`] — pluggable transports behind one abstraction: real TCP
+//!   for production, and an in-process fault-injecting simulator
+//!   ([`transport::SimNet`]) with per-link drop/delay/jitter plans,
+//!   partition/heal, and connection kill for deterministic protocol tests.
+//! * [`testkit`] — the deterministic multi-node harness: N nodes on a
+//!   seeded `SimNet` under paused tokio time, with topology wiring,
+//!   `converge_until`, and partition scripting.
 //! * [`messages`] — the protocol message set: handshake, ping, epidemic
 //!   gossip (announce / request / payload), and the gossiped items
 //!   (coverage receipts, attestations, market orders, withdrawals).
@@ -19,7 +26,8 @@
 //!   claim by re-propagating the satellite's published orbit with the
 //!   `orbital` crate — coverage fraud is detectable from physics alone.
 //! * [`ledger`] — the replicated receipt ledger: quorum attestation,
-//!   reward accounting, epoch settlement, party balances.
+//!   reward accounting, epoch settlement (idempotent zero-sum batches
+//!   against the party account book), party balances.
 //! * [`gossip`] — the seen-cache and anti-entropy state machine (pure logic,
 //!   unit-testable without sockets).
 //! * [`node`] — the async node runtime: listener, per-peer reader/writer
@@ -38,9 +46,12 @@ pub mod market;
 pub mod messages;
 pub mod node;
 pub mod poc;
+pub mod testkit;
+pub mod transport;
 pub mod wire;
 
 pub use crypto::{hmac_sha256, sha256, KeyDirectory};
-pub use ledger::Ledger;
-pub use messages::{GossipItem, Message, NodeId};
-pub use node::{Node, NodeConfig, NodeHandle};
+pub use ledger::{Accounts, Ledger, SettlementOutcome};
+pub use messages::{GossipItem, Message, NodeId, SettlementNote};
+pub use node::{BackoffConfig, Node, NodeConfig, NodeHandle};
+pub use transport::{FaultPlan, SimNet, Transport};

@@ -5,9 +5,10 @@
 //! items riding the gossip layer ([`GossipItem`]). Item IDs are content
 //! hashes, so duplicate suppression and integrity come for free.
 
-use crate::crypto::{hex, sha256, Signature};
+use crate::crypto::{hex, sha256, KeyDirectory, Signature};
 use crate::poc::{Attestation, CoverageReceipt};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a protocol node (one per party in the prototype).
@@ -81,6 +82,48 @@ impl WithdrawalNotice {
     }
 }
 
+/// An epoch settlement: a zero-sum batch of balance transfers proposed by
+/// one party, applied at most once per `(epoch, proposer)` by every
+/// replica's account book (see [`crate::ledger::Accounts`]). Replaying a
+/// duplicate note is a no-op, so settlement survives at-least-once gossip
+/// delivery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettlementNote {
+    /// Settlement epoch this note closes.
+    pub epoch: u64,
+    /// Proposing (and signing) party.
+    pub proposer: String,
+    /// Party -> signed balance delta; deltas must sum to zero.
+    pub transfers: BTreeMap<String, f64>,
+    /// HMAC tag over the canonical note bytes.
+    pub signature: Signature,
+}
+
+impl SettlementNote {
+    /// The bytes covered by the settlement signature.
+    pub fn signing_bytes(epoch: u64, proposer: &str, transfers: &BTreeMap<String, f64>) -> Vec<u8> {
+        let body: Vec<String> = transfers.iter().map(|(p, d)| format!("{p}:{d:.6}")).collect();
+        format!("settle|{epoch}|{proposer}|{}", body.join(",")).into_bytes()
+    }
+
+    /// Create and sign a note (None if the proposer's key is unknown).
+    pub fn create(
+        keys: &KeyDirectory,
+        epoch: u64,
+        proposer: &str,
+        transfers: BTreeMap<String, f64>,
+    ) -> Option<SettlementNote> {
+        let bytes = Self::signing_bytes(epoch, proposer, &transfers);
+        let signature = keys.sign(proposer, &bytes)?;
+        Some(SettlementNote { epoch, proposer: proposer.to_string(), transfers, signature })
+    }
+
+    /// Replay-protection key: one application per `(epoch, proposer)`.
+    pub fn settlement_id(&self) -> String {
+        format!("{}|{}", self.epoch, self.proposer)
+    }
+}
+
 /// An application item carried by the gossip layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum GossipItem {
@@ -94,6 +137,8 @@ pub enum GossipItem {
     Withdrawal(WithdrawalNotice),
     /// A multi-party control-plane event (proposal or vote).
     Control(crate::control::ControlEvent),
+    /// An epoch settlement note (zero-sum balance transfers).
+    Settlement(SettlementNote),
 }
 
 impl GossipItem {

@@ -159,6 +159,144 @@ mod tests {
     }
 }
 
+/// Fuzz-style adversarial input tests for [`read_frame`]: the reader faces
+/// an untrusted peer, so every malformed byte stream must surface as a clean
+/// `Err` (or `Ok(None)` at a frame boundary) — never a panic, hang, or
+/// unbounded allocation.
+#[cfg(test)]
+mod read_frame_fuzz {
+    use super::*;
+    use crate::messages::NodeId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tokio::io::AsyncWriteExt;
+
+    fn hello() -> Message {
+        Message::Hello { node_id: NodeId::new("fuzz"), listen_addr: None }
+    }
+
+    /// Feed `bytes` then close the write side; return the read result.
+    async fn read_from(bytes: &[u8]) -> io::Result<Option<Message>> {
+        let (mut a, mut b) = tokio::io::duplex(64 * 1024);
+        a.write_all(bytes).await.unwrap();
+        drop(a);
+        let mut buf = BytesMut::new();
+        read_frame(&mut b, &mut buf).await
+    }
+
+    #[tokio::test]
+    async fn truncated_length_prefix_is_error() {
+        // EOF after 1..=3 header bytes: mid-frame, so an error, not None.
+        for cut in 1..4 {
+            let frame = encode(&hello()).unwrap();
+            let res = read_from(&frame[..cut]).await;
+            assert!(res.is_err(), "cut at {cut} header bytes must error");
+            assert_eq!(res.unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+        }
+    }
+
+    #[tokio::test]
+    async fn truncated_body_every_cut_is_error() {
+        let frame = encode(&hello()).unwrap();
+        for cut in 4..frame.len() {
+            let res = read_from(&frame[..cut]).await;
+            assert!(res.is_err(), "cut at byte {cut} must error");
+        }
+    }
+
+    #[tokio::test]
+    async fn oversized_announced_length_rejected_before_read() {
+        // Header promises > MAX_FRAME_BYTES; the reader must refuse without
+        // waiting for (or allocating) the announced body.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes());
+        bytes.extend_from_slice(&[0xAB; 16]);
+        let res = read_from(&bytes).await;
+        assert_eq!(res.unwrap_err().kind(), io::ErrorKind::InvalidData);
+
+        // u32::MAX, the worst announcement a 4-byte header can make.
+        let mut bytes = u32::MAX.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(read_from(&bytes).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn garbage_body_with_valid_length_rejected() {
+        let body = [0xFFu8; 32];
+        let mut bytes = (body.len() as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let res = read_from(&bytes).await;
+        assert_eq!(res.unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[tokio::test]
+    async fn split_reads_reassemble_across_chunks() {
+        // Deliver one frame byte-by-byte, then in odd-sized chunks: the
+        // reader must buffer partial frames and decode exactly one message.
+        let frame = encode(&hello()).unwrap();
+        for chunk_size in [1usize, 3, 7, frame.len() / 2] {
+            let (mut a, mut b) = tokio::io::duplex(64 * 1024);
+            let chunks: Vec<Vec<u8>> = frame.chunks(chunk_size).map(|c| c.to_vec()).collect();
+            let writer = tokio::spawn(async move {
+                for c in chunks {
+                    a.write_all(&c).await.unwrap();
+                    a.flush().await.unwrap();
+                    tokio::task::yield_now().await;
+                }
+                drop(a);
+            });
+            let mut buf = BytesMut::new();
+            let msg = read_frame(&mut b, &mut buf).await.unwrap().unwrap();
+            assert_eq!(msg, hello(), "chunk size {chunk_size}");
+            assert!(read_frame(&mut b, &mut buf).await.unwrap().is_none());
+            writer.await.unwrap();
+        }
+    }
+
+    #[tokio::test]
+    async fn seeded_random_streams_never_panic() {
+        // 64 seeded random byte streams: read_frame must always terminate
+        // with Ok or Err, never panic. Seeded so a failure reproduces.
+        let mut rng = StdRng::seed_from_u64(0x77_1235);
+        for _ in 0..64 {
+            let len = rng.gen_range(0..512);
+            let mut bytes = vec![0u8; len];
+            rng.fill(&mut bytes[..]);
+            let _ = read_from(&bytes).await;
+        }
+    }
+
+    #[tokio::test]
+    async fn second_frame_split_mid_header_reassembles() {
+        // Two well-formed frames back-to-back split mid-header of the
+        // second: the residue must carry over between read_frame calls.
+        let f1 = encode(&hello()).unwrap();
+        let f2 = encode(&Message::Ping { nonce: 99 }).unwrap();
+        let (mut a, mut b) = tokio::io::duplex(64 * 1024);
+        let (head, tail) = {
+            let mut all = f1.clone();
+            all.extend_from_slice(&f2);
+            let cut = f1.len() + 2; // 2 bytes into the second header
+            (all[..cut].to_vec(), all[cut..].to_vec())
+        };
+        let writer = tokio::spawn(async move {
+            a.write_all(&head).await.unwrap();
+            a.flush().await.unwrap();
+            tokio::task::yield_now().await;
+            a.write_all(&tail).await.unwrap();
+            drop(a);
+        });
+        let mut buf = BytesMut::new();
+        assert_eq!(read_frame(&mut b, &mut buf).await.unwrap().unwrap(), hello());
+        assert_eq!(
+            read_frame(&mut b, &mut buf).await.unwrap().unwrap(),
+            Message::Ping { nonce: 99 }
+        );
+        assert!(read_frame(&mut b, &mut buf).await.unwrap().is_none());
+        writer.await.unwrap();
+    }
+}
+
 #[cfg(test)]
 mod proptests {
     use super::*;

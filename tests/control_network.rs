@@ -1,21 +1,13 @@
-//! Multi-party control over the real network: quorum commands execute only
-//! with enough approvals, replicas converge, and unilateral region
-//! shutdowns — the abuse MP-LEO exists to prevent — are impossible.
+//! Multi-party control over the simulated network: quorum commands execute
+//! only with enough approvals, replicas converge, and unilateral region
+//! shutdowns — the abuse MP-LEO exists to prevent — are impossible. Runs
+//! on the deterministic harness under paused tokio time.
 
 use dcp::control::ControlEvent;
-use dcp::crypto::KeyDirectory;
 use dcp::messages::GossipItem;
-use dcp::node::{Node, NodeConfig, NodeHandle};
+use dcp::testkit::TestNet;
 use mpleo::control::{Command, ControlGroup, ProposalState};
 use std::time::Duration;
-
-fn keys() -> KeyDirectory {
-    let mut k = KeyDirectory::new();
-    for p in ["a", "b", "c", "d"] {
-        k.register_derived(p, b"control-net-test");
-    }
-    k
-}
 
 fn group() -> ControlGroup {
     let mut g = ControlGroup::new(["a", "b", "c", "d"].map(String::from), 3);
@@ -23,90 +15,80 @@ fn group() -> ControlGroup {
     g
 }
 
-async fn mesh(parties: &[&str]) -> Vec<NodeHandle> {
-    let mut nodes = Vec::new();
-    for p in parties {
-        let mut cfg = NodeConfig::local(*p, keys());
+async fn mesh(seed: u64, parties: &[&str]) -> TestNet {
+    let net = TestNet::with_config(seed, parties, |_, mut cfg| {
         cfg.control = Some(group());
-        nodes.push(Node::start(cfg).await.unwrap());
-    }
-    for i in 1..nodes.len() {
-        nodes[i].connect(nodes[i - 1].local_addr).await.unwrap();
-    }
-    nodes
+        cfg
+    })
+    .await
+    .unwrap();
+    net.connect_chain().await.unwrap();
+    net
 }
 
-async fn wait_state(
-    nodes: &[NodeHandle],
-    id: u64,
-    state: ProposalState,
-    ms: u64,
-) -> bool {
-    for _ in 0..(ms / 10) {
-        if nodes.iter().all(|n| n.control_state(id) == Some(state)) {
-            return true;
-        }
-        tokio::time::sleep(Duration::from_millis(10)).await;
-    }
-    false
+async fn wait_state(net: &TestNet, id: u64, state: ProposalState, within: Duration) -> bool {
+    net.converged_when(within, |h| h.control_state(id) == Some(state)).await
 }
 
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn quorum_deorbit_executes_across_mesh() {
-    let nodes = mesh(&["a", "b", "c", "d"]).await;
-    let k = keys();
-    nodes[0].publish(GossipItem::Control(
-        ControlEvent::propose(&k, 1, 7, "a", Command::Deorbit).unwrap(),
+    let net = mesh(31, &["a", "b", "c", "d"]).await;
+    net.nodes[0].publish(GossipItem::Control(
+        ControlEvent::propose(&net.keys, 1, 7, "a", Command::Deorbit).unwrap(),
     ));
-    // Proposer's implicit approval + two votes = quorum of 3.
-    nodes[1].publish(GossipItem::Control(ControlEvent::vote(&k, 1, "b", true).unwrap()));
+    // Proposer's implicit approval + one vote = two approvals, below quorum.
+    net.nodes[1]
+        .publish(GossipItem::Control(ControlEvent::vote(&net.keys, 1, "b", true).unwrap()));
     assert!(
-        !wait_state(&nodes, 1, ProposalState::Executed, 300).await,
+        !wait_state(&net, 1, ProposalState::Executed, Duration::from_millis(300)).await,
         "two approvals must not execute a 3-quorum command"
     );
-    nodes[2].publish(GossipItem::Control(ControlEvent::vote(&k, 1, "c", true).unwrap()));
+    net.nodes[2]
+        .publish(GossipItem::Control(ControlEvent::vote(&net.keys, 1, "c", true).unwrap()));
     assert!(
-        wait_state(&nodes, 1, ProposalState::Executed, 5000).await,
+        wait_state(&net, 1, ProposalState::Executed, Duration::from_secs(5)).await,
         "third approval executes: {:?}",
-        nodes.iter().map(|n| n.control_state(1)).collect::<Vec<_>>()
+        net.nodes.iter().map(|n| n.control_state(1)).collect::<Vec<_>>()
     );
     // Every replica has the same executed log.
     let digests: std::collections::HashSet<Option<u64>> =
-        nodes.iter().map(|n| n.control_log_digest()).collect();
+        net.nodes.iter().map(|n| n.control_log_digest()).collect();
     assert_eq!(digests.len(), 1);
-    for n in &nodes {
-        n.shutdown();
-    }
+    net.shutdown_all();
 }
 
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn region_shutdown_blocked_by_rejections() {
-    let nodes = mesh(&["a", "b", "c", "d"]).await;
-    let k = keys();
+    let net = mesh(32, &["a", "b", "c", "d"]).await;
     // Party a (the satellite owner!) tries to cut service over a region.
-    nodes[0].publish(GossipItem::Control(
-        ControlEvent::propose(&k, 2, 7, "a", Command::RegionShutdown { region: "Taiwan".into() })
-            .unwrap(),
+    net.nodes[0].publish(GossipItem::Control(
+        ControlEvent::propose(
+            &net.keys,
+            2,
+            7,
+            "a",
+            Command::RegionShutdown { region: "Taiwan".into() },
+        )
+        .unwrap(),
     ));
-    nodes[1].publish(GossipItem::Control(ControlEvent::vote(&k, 2, "b", false).unwrap()));
-    nodes[2].publish(GossipItem::Control(ControlEvent::vote(&k, 2, "c", false).unwrap()));
+    net.nodes[1]
+        .publish(GossipItem::Control(ControlEvent::vote(&net.keys, 2, "b", false).unwrap()));
+    net.nodes[2]
+        .publish(GossipItem::Control(ControlEvent::vote(&net.keys, 2, "c", false).unwrap()));
     assert!(
-        wait_state(&nodes, 2, ProposalState::Rejected, 5000).await,
+        wait_state(&net, 2, ProposalState::Rejected, Duration::from_secs(5)).await,
         "two rejections make a 3-of-4 quorum impossible"
     );
-    for n in &nodes {
-        assert_eq!(n.control_log_digest(), nodes[0].control_log_digest());
+    for n in &net.nodes {
+        assert_eq!(n.control_log_digest(), net.nodes[0].control_log_digest());
     }
-    for n in &nodes {
-        n.shutdown();
-    }
+    net.shutdown_all();
 }
 
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn forged_control_events_ignored() {
-    let nodes = mesh(&["a", "b"]).await;
-    let k = keys();
-    let genuine = ControlEvent::propose(&k, 3, 7, "a", Command::SafeMode).unwrap();
+    let net = mesh(33, &["a", "b"]).await;
+    let genuine = ControlEvent::propose(&net.keys, 3, 7, "a", Command::SafeMode).unwrap();
     let ControlEvent::Propose { proposal_id, sat_id, command, signature, .. } = genuine else {
         unreachable!()
     };
@@ -118,19 +100,12 @@ async fn forged_control_events_ignored() {
         command,
         signature,
     };
-    nodes[0].publish(GossipItem::Control(forged));
-    for _ in 0..100 {
-        if nodes.iter().all(|n| n.item_count() >= 1) {
-            break;
-        }
-        tokio::time::sleep(Duration::from_millis(10)).await;
-    }
-    tokio::time::sleep(Duration::from_millis(100)).await;
-    for n in &nodes {
+    net.nodes[0].publish(GossipItem::Control(forged));
+    assert!(net.all_converged(Duration::from_secs(2), 1).await);
+    net.settle(Duration::from_millis(100)).await;
+    for n in &net.nodes {
         assert_eq!(n.control_state(3), None, "forged proposal must not register");
         assert!(n.rejected_count() >= 1);
     }
-    for n in &nodes {
-        n.shutdown();
-    }
+    net.shutdown_all();
 }

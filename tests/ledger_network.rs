@@ -1,0 +1,90 @@
+//! Settlement over the network: signed zero-sum settlement notes gossip to
+//! every replica, apply exactly once (replays with the same epoch|proposer
+//! id are no-ops), and forged or non-conserving notes are refused
+//! everywhere. Runs on the deterministic sim-transport harness.
+
+use dcp::messages::{GossipItem, SettlementNote};
+use dcp::testkit::TestNet;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn transfers(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+    pairs.iter().map(|(p, v)| (p.to_string(), *v)).collect()
+}
+
+#[tokio::test(start_paused = true)]
+async fn settlement_note_replicates_and_applies_once() {
+    let net = TestNet::new(41, &["a", "b", "c"]).await.unwrap();
+    net.connect_chain().await.unwrap();
+
+    let note =
+        SettlementNote::create(&net.keys, 1, "a", transfers(&[("a", 5.0), ("b", -5.0)])).unwrap();
+    net.nodes[0].publish(GossipItem::Settlement(note));
+
+    assert!(
+        net.converged_when(Duration::from_secs(5), |h| h.settlements_applied() == 1).await,
+        "settlement did not replicate: {:?}",
+        net.nodes.iter().map(|h| h.settlements_applied()).collect::<Vec<_>>()
+    );
+    let reference = net.nodes[0].account_balances();
+    assert!((reference["a"] - 5.0).abs() < 1e-9, "{reference:?}");
+    assert!((reference["b"] + 5.0).abs() < 1e-9, "{reference:?}");
+    let total: f64 = reference.values().sum();
+    assert!(total.abs() < 1e-9, "settlement must conserve balances: {total}");
+    for h in &net.nodes[1..] {
+        assert_eq!(h.account_balances(), reference, "replica {} diverged", h.node_id());
+    }
+    net.shutdown_all();
+}
+
+#[tokio::test(start_paused = true)]
+async fn replayed_settlement_id_is_a_network_noop() {
+    let net = TestNet::new(42, &["a", "b", "c"]).await.unwrap();
+    net.connect_chain().await.unwrap();
+
+    let first =
+        SettlementNote::create(&net.keys, 7, "a", transfers(&[("b", 2.5), ("c", -2.5)])).unwrap();
+    net.nodes[0].publish(GossipItem::Settlement(first));
+    assert!(net.converged_when(Duration::from_secs(5), |h| h.settlements_applied() == 1).await);
+    let before = net.nodes[2].account_balances();
+
+    // A second note reusing epoch 7 / proposer "a" — same settlement id,
+    // different payload — spreads as gossip but must not apply anywhere.
+    let replay =
+        SettlementNote::create(&net.keys, 7, "a", transfers(&[("b", 99.0), ("c", -99.0)])).unwrap();
+    net.nodes[2].publish(GossipItem::Settlement(replay));
+    assert!(net.all_converged(Duration::from_secs(5), 2).await, "replay item still gossips");
+    net.settle(Duration::from_millis(200)).await;
+
+    for h in &net.nodes {
+        assert_eq!(h.settlements_applied(), 1, "replay applied on {}", h.node_id());
+        assert_eq!(h.account_balances(), before, "balances moved on {}", h.node_id());
+    }
+    net.shutdown_all();
+}
+
+#[tokio::test(start_paused = true)]
+async fn non_conserving_and_forged_notes_refused_everywhere() {
+    let net = TestNet::new(43, &["a", "b"]).await.unwrap();
+    net.connect_chain().await.unwrap();
+
+    // Money printer: transfers that do not sum to zero.
+    let printer =
+        SettlementNote::create(&net.keys, 1, "a", transfers(&[("a", 10.0), ("b", -3.0)])).unwrap();
+    net.nodes[0].publish(GossipItem::Settlement(printer));
+
+    // Forgery: b reuses a's signed note but claims it for itself.
+    let mut forged =
+        SettlementNote::create(&net.keys, 2, "a", transfers(&[("a", 1.0), ("b", -1.0)])).unwrap();
+    forged.proposer = "b".into();
+    net.nodes[1].publish(GossipItem::Settlement(forged));
+
+    assert!(net.all_converged(Duration::from_secs(5), 2).await);
+    net.settle(Duration::from_millis(200)).await;
+    for h in &net.nodes {
+        assert_eq!(h.settlements_applied(), 0, "bad note applied on {}", h.node_id());
+        assert!(h.account_balances().is_empty(), "balances moved on {}", h.node_id());
+        assert!(h.rejected_count() >= 2, "rejections not counted on {}", h.node_id());
+    }
+    net.shutdown_all();
+}

@@ -1,99 +1,71 @@
-//! Replicated-market integration test: orders gossiped across real TCP
-//! nodes produce identical books and conserving settlements everywhere.
+//! Replicated-market integration test on the deterministic harness: orders
+//! gossiped across sim-transport nodes produce identical books and
+//! conserving settlements everywhere, in virtual time with a fixed seed.
 
-use dcp::crypto::KeyDirectory;
 use dcp::market::make_order;
 use dcp::messages::GossipItem;
-use dcp::node::{Node, NodeConfig, NodeHandle};
+use dcp::testkit::TestNet;
 use std::time::Duration;
 
-fn keys() -> KeyDirectory {
-    let mut k = KeyDirectory::new();
-    for p in ["p1", "p2", "p3", "p4"] {
-        k.register_derived(p, b"market-test");
-    }
-    k
-}
+const PARTIES: [&str; 4] = ["p1", "p2", "p3", "p4"];
 
-async fn wait_items(nodes: &[NodeHandle], count: usize, ms: u64) -> bool {
-    for _ in 0..(ms / 10) {
-        if nodes.iter().all(|n| n.item_count() >= count) {
-            return true;
-        }
-        tokio::time::sleep(Duration::from_millis(10)).await;
-    }
-    false
-}
-
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn orders_flood_and_books_converge() {
-    let k = keys();
-    let mut nodes = Vec::new();
-    for p in ["p1", "p2", "p3", "p4"] {
-        nodes.push(Node::start(NodeConfig::local(p, k.clone())).await.unwrap());
-    }
-    // Ring topology.
-    for i in 0..nodes.len() {
-        let next = (i + 1) % nodes.len();
-        let addr = nodes[next].local_addr;
-        nodes[i].connect(addr).await.unwrap();
-    }
-    tokio::time::sleep(Duration::from_millis(100)).await;
+    let net = TestNet::new(21, &PARTIES).await.unwrap();
+    net.connect_ring().await.unwrap();
+    net.settle(Duration::from_millis(100)).await;
 
     // Sequential publication so every replica applies the same order
     // sequence (each order is published only after the previous converged —
     // this mirrors an epoch-per-order discipline).
     let orders = vec![
-        make_order(&k, "p1", false, 1.00, 100, 0).unwrap(),
-        make_order(&k, "p2", false, 1.10, 50, 0).unwrap(),
-        make_order(&k, "p3", true, 1.05, 80, 0).unwrap(),
-        make_order(&k, "p4", true, 1.20, 60, 0).unwrap(),
+        make_order(&net.keys, "p1", false, 1.00, 100, 0).unwrap(),
+        make_order(&net.keys, "p2", false, 1.10, 50, 0).unwrap(),
+        make_order(&net.keys, "p3", true, 1.05, 80, 0).unwrap(),
+        make_order(&net.keys, "p4", true, 1.20, 60, 0).unwrap(),
     ];
+    let n = net.nodes.len();
     for (i, o) in orders.into_iter().enumerate() {
-        nodes[i % nodes.len()].publish(GossipItem::Order(o));
-        assert!(wait_items(&nodes, i + 1, 5000).await, "order {i} did not flood");
+        net.nodes[i % n].publish(GossipItem::Order(o));
+        assert!(
+            net.all_converged(Duration::from_secs(5), i + 1).await,
+            "order {i} did not flood"
+        );
     }
-    tokio::time::sleep(Duration::from_millis(300)).await;
+    net.settle(Duration::from_millis(300)).await;
 
-    let reference = nodes[0].trades();
+    let reference = net.nodes[0].trades();
     assert!(!reference.is_empty(), "crossing orders must trade");
-    for n in &nodes[1..] {
-        assert_eq!(n.trades(), reference, "replica {} diverged", n.node_id());
+    for h in &net.nodes[1..] {
+        assert_eq!(h.trades(), reference, "replica {} diverged", h.node_id());
     }
     // Settlement conserves credits on every replica.
-    for n in &nodes {
-        let s = n.market_settlement();
-        let net: f64 = s.values().sum();
-        assert!(net.abs() < 1e-9, "{}: non-conserving settlement {net}", n.node_id());
+    for h in &net.nodes {
+        let s = h.market_settlement();
+        let sum: f64 = s.values().sum();
+        assert!(sum.abs() < 1e-9, "{}: non-conserving settlement {sum}", h.node_id());
     }
-    for n in &nodes {
-        n.shutdown();
-    }
+    net.shutdown_all();
 }
 
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn forged_orders_excluded_everywhere() {
-    let k = keys();
-    let a = Node::start(NodeConfig::local("p1", k.clone())).await.unwrap();
-    let b = Node::start(NodeConfig::local("p2", k.clone())).await.unwrap();
-    b.connect(a.local_addr).await.unwrap();
+    let net = TestNet::new(22, &PARTIES[..2]).await.unwrap();
+    net.connect(1, 0).await.unwrap();
 
     // p2 forges an order in p1's name with a bogus signature.
-    let mut forged = make_order(&k, "p2", false, 0.5, 100, 0).unwrap();
+    let mut forged = make_order(&net.keys, "p2", false, 0.5, 100, 0).unwrap();
     forged.party = "p1".into();
-    b.publish(GossipItem::Order(forged));
+    net.nodes[1].publish(GossipItem::Order(forged));
     // A genuine crossing bid follows.
-    let bid = make_order(&k, "p1", true, 1.0, 10, 1).unwrap();
-    a.publish(GossipItem::Order(bid));
+    let bid = make_order(&net.keys, "p1", true, 1.0, 10, 1).unwrap();
+    net.nodes[0].publish(GossipItem::Order(bid));
 
-    let nodes = [a, b];
-    assert!(wait_items(&nodes, 2, 5000).await);
-    tokio::time::sleep(Duration::from_millis(200)).await;
-    for n in &nodes {
-        assert!(n.trades().is_empty(), "forged ask must not trade on {}", n.node_id());
-        assert!(n.rejected_count() >= 1, "forgery not counted on {}", n.node_id());
+    assert!(net.all_converged(Duration::from_secs(5), 2).await);
+    net.settle(Duration::from_millis(200)).await;
+    for h in &net.nodes {
+        assert!(h.trades().is_empty(), "forged ask must not trade on {}", h.node_id());
+        assert!(h.rejected_count() >= 1, "forgery not counted on {}", h.node_id());
     }
-    for n in &nodes {
-        n.shutdown();
-    }
+    net.shutdown_all();
 }

@@ -1,12 +1,13 @@
-//! Full-stack proof-of-coverage test: real TCP nodes, real orbit
-//! propagation, quorum attestation, and ledger convergence — including a
-//! fraud attempt rejected by physics.
+//! Full-stack proof-of-coverage test on the deterministic harness: sim
+//! transport nodes, real orbit propagation, quorum attestation, and ledger
+//! convergence — including a fraud attempt rejected by physics. Runs under
+//! paused tokio time: every wait is virtual, so the whole file completes in
+//! milliseconds of wall clock with a fixed network seed.
 
-use dcp::crypto::KeyDirectory;
 use dcp::ledger::LedgerConfig;
 use dcp::messages::GossipItem;
-use dcp::node::{Node, NodeConfig, NodeHandle};
 use dcp::poc::{CoverageReceipt, Scenario};
+use dcp::testkit::TestNet;
 use orbital::constellation::single_plane;
 use orbital::frames::{subpoint, Geodetic};
 use orbital::ground::GroundSite;
@@ -17,14 +18,6 @@ use std::time::Duration;
 
 fn epoch() -> Epoch {
     Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
-}
-
-fn network_keys(parties: &[&str]) -> KeyDirectory {
-    let mut keys = KeyDirectory::new();
-    for p in parties {
-        keys.register_derived(*p, b"poc-test-network");
-    }
-    keys
 }
 
 fn scenario_with_gs(verifier: &str) -> Arc<Scenario> {
@@ -42,141 +35,109 @@ fn scenario_with_gs(verifier: &str) -> Arc<Scenario> {
     Arc::new(sc)
 }
 
-async fn start_mesh(parties: &[&str], keys: &KeyDirectory, scenario: Arc<Scenario>, quorum: usize) -> Vec<NodeHandle> {
-    let mut handles = Vec::new();
-    for p in parties {
-        let mut cfg = NodeConfig::local(*p, keys.clone());
-        cfg.scenario = Some(scenario.clone());
+async fn poc_mesh(seed: u64, parties: &[&str], quorum: usize) -> (TestNet, Arc<Scenario>) {
+    let scenario = scenario_with_gs("alpha");
+    let sc = scenario.clone();
+    let net = TestNet::with_config(seed, parties, move |_, mut cfg| {
+        cfg.scenario = Some(sc.clone());
         cfg.auto_attest = true;
         cfg.ledger = LedgerConfig { quorum, reward_per_receipt: 5.0, verifier_share: 0.4 };
-        handles.push(Node::start(cfg).await.expect("node starts"));
-    }
-    for i in 1..handles.len() {
-        handles[i].connect(handles[i - 1].local_addr).await.unwrap();
-    }
-    handles
+        cfg
+    })
+    .await
+    .expect("nodes start");
+    (net, scenario)
 }
 
-async fn wait_until(handles: &[NodeHandle], pred: impl Fn(&NodeHandle) -> bool, ms: u64) -> bool {
-    for _ in 0..(ms / 10) {
-        if handles.iter().all(&pred) {
-            return true;
-        }
-        tokio::time::sleep(Duration::from_millis(10)).await;
-    }
-    false
-}
-
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn honest_receipt_confirmed_across_mesh() {
-    let parties = ["alpha", "beta", "gamma"];
-    let keys = network_keys(&parties);
-    let scenario = scenario_with_gs("alpha");
-    let handles = start_mesh(&parties, &keys, scenario.clone(), 2).await;
+    let (net, scenario) = poc_mesh(11, &["alpha", "beta", "gamma"], 2).await;
+    net.connect_chain().await.unwrap();
 
     let el = scenario.computed_elevation_deg(0, "alpha", 0.0).unwrap();
-    let receipt = CoverageReceipt::create(&keys, 0, "alpha", "beta", 0.0, el).unwrap();
-    handles[2].publish(GossipItem::Receipt(receipt));
+    let receipt = CoverageReceipt::create(&net.keys, 0, "alpha", "beta", 0.0, el).unwrap();
+    net.nodes[2].publish(GossipItem::Receipt(receipt));
 
     assert!(
-        wait_until(&handles, |h| h.confirmed_count() == 1, 5000).await,
+        net.converged_when(Duration::from_secs(5), |h| h.confirmed_count() == 1).await,
         "receipt not confirmed everywhere: {:?}",
-        handles.iter().map(|h| h.confirmed_count()).collect::<Vec<_>>()
+        net.nodes.iter().map(|h| h.confirmed_count()).collect::<Vec<_>>()
     );
-    // Converged ledgers.
-    let digests: std::collections::HashSet<String> =
-        handles.iter().map(|h| h.ledger_digest()).collect();
-    assert_eq!(digests.len(), 1);
+    assert!(net.ledgers_agree(), "ledger digests diverged");
     // Rewards: owner beta 60% of 5, verifier alpha 40% of 5.
-    let balances = handles[0].reward_balances();
+    let balances = net.nodes[0].reward_balances();
     assert!((balances["beta"] - 3.0).abs() < 1e-9, "{balances:?}");
     assert!((balances["alpha"] - 2.0).abs() < 1e-9, "{balances:?}");
-    for h in &handles {
-        h.shutdown();
-    }
+    net.shutdown_all();
 }
 
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn fraudulent_receipt_never_confirms() {
     let parties = ["alpha", "beta", "gamma", "delta"];
-    let keys = network_keys(&parties);
-    let scenario = scenario_with_gs("alpha");
-    let handles = start_mesh(&parties, &keys, scenario.clone(), 2).await;
+    let (net, _) = poc_mesh(12, &parties, 2).await;
+    net.connect_chain().await.unwrap();
 
     // Claim coverage half an orbit after the satellite has left.
-    let fraud = CoverageReceipt::create(&keys, 0, "alpha", "beta", 48.0 * 60.0, 70.0).unwrap();
-    handles[0].publish(GossipItem::Receipt(fraud));
+    let fraud = CoverageReceipt::create(&net.keys, 0, "alpha", "beta", 48.0 * 60.0, 70.0).unwrap();
+    net.nodes[0].publish(GossipItem::Receipt(fraud));
 
     // The receipt itself spreads (it is data), plus attestations.
     assert!(
-        wait_until(&handles, |h| h.item_count() > parties.len(), 5000).await,
+        net.converged_when(Duration::from_secs(5), |h| h.item_count() > parties.len()).await,
         "gossip did not spread"
     );
-    tokio::time::sleep(Duration::from_millis(200)).await;
-    for h in &handles {
+    net.settle(Duration::from_millis(200)).await;
+    for h in &net.nodes {
         assert_eq!(h.confirmed_count(), 0, "{} confirmed a fraudulent receipt", h.node_id());
         assert!(h.reward_balances().is_empty());
     }
-    for h in &handles {
-        h.shutdown();
-    }
+    net.shutdown_all();
 }
 
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn mixed_honest_and_fraud_settles_correctly() {
-    let parties = ["alpha", "beta", "gamma"];
-    let keys = network_keys(&parties);
-    let scenario = scenario_with_gs("alpha");
-    let handles = start_mesh(&parties, &keys, scenario.clone(), 2).await;
+    let (net, scenario) = poc_mesh(13, &["alpha", "beta", "gamma"], 2).await;
+    net.connect_chain().await.unwrap();
 
     let el = scenario.computed_elevation_deg(0, "alpha", 0.0).unwrap();
-    let honest = CoverageReceipt::create(&keys, 0, "alpha", "beta", 0.0, el).unwrap();
-    let fraud = CoverageReceipt::create(&keys, 1, "alpha", "gamma", 0.0, 60.0).unwrap();
+    let honest = CoverageReceipt::create(&net.keys, 0, "alpha", "beta", 0.0, el).unwrap();
     // Satellite 1 is 120 degrees away in phase: not overhead at t=0.
-    handles[0].publish(GossipItem::Receipt(honest));
-    handles[1].publish(GossipItem::Receipt(fraud));
+    let fraud = CoverageReceipt::create(&net.keys, 1, "alpha", "gamma", 0.0, 60.0).unwrap();
+    net.nodes[0].publish(GossipItem::Receipt(honest));
+    net.nodes[1].publish(GossipItem::Receipt(fraud));
 
     assert!(
-        wait_until(&handles, |h| h.confirmed_count() == 1, 5000).await,
+        net.converged_when(Duration::from_secs(5), |h| h.confirmed_count() == 1).await,
         "exactly the honest receipt should confirm"
     );
-    let balances = handles[2].reward_balances();
+    let balances = net.nodes[2].reward_balances();
     assert!(balances.contains_key("beta"), "honest owner credited: {balances:?}");
     assert!(!balances.contains_key("gamma"), "fraud owner not credited: {balances:?}");
-    for h in &handles {
-        h.shutdown();
-    }
+    net.shutdown_all();
 }
 
-#[tokio::test]
+#[tokio::test(start_paused = true)]
 async fn late_joining_party_replicates_ledger() {
-    let parties = ["alpha", "beta", "gamma"];
-    let keys = network_keys(&parties);
-    let scenario = scenario_with_gs("alpha");
-    let handles = start_mesh(&parties[..2], &keys, scenario.clone(), 2).await;
+    // Start all three nodes but only wire alpha-beta; gamma joins late.
+    let (net, scenario) = poc_mesh(14, &["alpha", "beta", "gamma"], 2).await;
+    net.connect(1, 0).await.unwrap();
 
     let el = scenario.computed_elevation_deg(0, "alpha", 0.0).unwrap();
-    let receipt = CoverageReceipt::create(&keys, 0, "alpha", "beta", 0.0, el).unwrap();
-    handles[0].publish(GossipItem::Receipt(receipt));
-    assert!(wait_until(&handles, |h| h.confirmed_count() == 1, 5000).await);
-
-    // Gamma joins after the fact and must catch up via anti-entropy.
-    let mut cfg = NodeConfig::local("gamma", keys.clone());
-    cfg.scenario = Some(scenario.clone());
-    cfg.auto_attest = true;
-    cfg.ledger = LedgerConfig { quorum: 2, reward_per_receipt: 5.0, verifier_share: 0.4 };
-    let gamma = Node::start(cfg).await.unwrap();
-    gamma.connect(handles[1].local_addr).await.unwrap();
-
-    let mut all = handles;
-    all.push(gamma);
+    let receipt = CoverageReceipt::create(&net.keys, 0, "alpha", "beta", 0.0, el).unwrap();
+    net.nodes[0].publish(GossipItem::Receipt(receipt));
     assert!(
-        wait_until(&all, |h| h.confirmed_count() == 1, 5000).await,
+        dcp::testkit::converge_until(Duration::from_secs(5), || {
+            net.nodes[..2].iter().all(|h| h.confirmed_count() == 1)
+        })
+        .await
+    );
+
+    // Gamma connects after the fact and must catch up via anti-entropy.
+    net.connect(2, 1).await.unwrap();
+    assert!(
+        net.converged_when(Duration::from_secs(5), |h| h.confirmed_count() == 1).await,
         "late joiner did not replicate the confirmed ledger"
     );
-    let d: std::collections::HashSet<String> = all.iter().map(|h| h.ledger_digest()).collect();
-    assert_eq!(d.len(), 1);
-    for h in &all {
-        h.shutdown();
-    }
+    assert!(net.ledgers_agree());
+    net.shutdown_all();
 }
