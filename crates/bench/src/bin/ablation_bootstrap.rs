@@ -1,75 +1,8 @@
-//! Ablation: bootstrapping — delay-tolerant service and early-adopter
-//! tokens for sparse constellations (paper §4).
-//!
-//! Two halves:
-//!
-//! 1. **DTN service** — what can a 4/10/25-satellite constellation actually
-//!    sell? Store-and-forward delivery latency for IoT-style bundles shows
-//!    sparse deployments are useful long before real-time coverage exists.
-//! 2. **Token emission** — five parties join in sequence; the early-adopter
-//!    multiplier determines whether joining first pays.
-
-use leosim::dtn::{dtn_stats, simulate_dtn};
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo::bootstrap::{simulate_bootstrap, EmissionSchedule};
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
-use orbital::ground::GroundSite;
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_bootstrap`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_bootstrap` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "bootstrapping: DTN service + early-adopter tokens");
-
-    let ctx = Context::new(&fidelity);
-
-    // --- Part 1: what a sparse constellation delivers ------------------
-    println!("\n[1] delay-tolerant delivery, terminal Taipei -> ground station New York");
-    let terminal = [GroundSite::from_degrees("Taipei", 25.03, 121.56)];
-    let gs = [GroundSite::from_degrees("NY-GS", 40.71, -74.01)];
-    let mut rows = Vec::new();
-    for &n in &[4usize, 10, 25, 100] {
-        let mut rng = run_rng(0xAB5, n as u64);
-        let idx = sample_indices(&mut rng, ctx.pool.len(), n);
-        let vt_t = ctx.subset_table(&idx, &terminal);
-        let vt_g = ctx.subset_table(&idx, &gs);
-        let all: Vec<usize> = (0..n).collect();
-        let hourly = (3600.0 / ctx.grid.step_s) as usize;
-        let deliveries = simulate_dtn(&vt_t, &vt_g, 0, &all, &[0], hourly);
-        let stats = dtn_stats(&deliveries, &ctx.grid);
-        rows.push(vec![
-            n.to_string(),
-            format!("{:.0}", stats.delivery_ratio * 100.0),
-            fmt_dur(stats.median_latency_s),
-            fmt_dur(stats.max_latency_s),
-        ]);
-    }
-    print_table(
-        &["satellites", "delivered %", "median latency", "worst latency"],
-        &rows,
-    );
-    println!("(bundles created hourly; horizon {:.1} days)", ctx.grid.duration_s() / 86_400.0);
-
-    // --- Part 2: early-adopter token economics -------------------------
-    println!("\n[2] token emission across 5 joining parties (greedy gap-filling placement)");
-    let sub = sample_indices(&mut run_rng(0xAB5, 99), ctx.pool.len(), 400);
-    let vt = ctx.subset_table(&sub, &ctx.sites);
-    let parties = ["round0", "round1", "round2", "round3", "round4"];
-    for (label, schedule) in [
-        ("with 3x early-adopter bonus (decay 0.5/round)", EmissionSchedule::default()),
-        ("flat emission (no bonus)", EmissionSchedule { early_multiplier: 1.0, ..Default::default() }),
-    ] {
-        let out = simulate_bootstrap(&vt, &ctx.weights, &parties, 10, &schedule);
-        println!("\n  {label}:");
-        let mut rows = Vec::new();
-        for p in parties {
-            rows.push(vec![p.to_string(), format!("{:.0}", out.balances[p])]);
-        }
-        rows.push(vec![
-            "final coverage".into(),
-            format!("{:.1}% pop-weighted", out.rounds.last().unwrap().coverage_s / vt.grid.duration_s() * 100.0),
-        ]);
-        print_table(&["party (join order)", "tokens"], &rows);
-    }
-    println!("\ntakeaway: sparse constellations are sellable for delay-tolerant");
-    println!("traffic from day one, and an early-adopter multiplier makes the");
-    println!("low-coverage rounds worth joining — the paper's two bootstrap levers.");
+    mpleo_bench::runner::main_for("ablation_bootstrap");
 }

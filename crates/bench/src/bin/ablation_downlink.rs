@@ -1,67 +1,8 @@
-//! Ablation: downlink arbitration across shared ground stations.
-//!
-//! MP-LEO's ground segment is multi-party too: few stations, many
-//! satellites, one satellite tracked per station at a time. This study
-//! compares arbitration policies (the L2D2-flavored oldest-data-first vs
-//! throughput-greedy vs naive fixed priority) on drain volume and data age
-//! — the fairness question behind "how do satellite operators charge for
-//! their services".
-
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo::downlink::{simulate_downlink, DownlinkConfig, DownlinkPolicy};
-use mpleo_bench::{print_table, Context, Fidelity};
-use orbital::ground::GroundSite;
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_downlink`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_downlink` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "downlink arbitration policy (shared ground stations)");
-
-    let ctx = Context::new(&fidelity);
-    let n = if fidelity.full { 60 } else { 30 };
-    let mut rng = run_rng(0xABA, 0);
-    let idx = sample_indices(&mut rng, ctx.pool.len(), n);
-    // Three ground stations on three continents.
-    let gs = [
-        GroundSite::from_degrees("GS-Taiwan", 24.8, 121.0),
-        GroundSite::from_degrees("GS-Germany", 50.1, 8.7),
-        GroundSite::from_degrees("GS-Chile", -33.4, -70.7),
-    ];
-    let vt = ctx.subset_table_config(&idx, &gs, &ctx.config.clone().with_mask_deg(10.0));
-    let all: Vec<usize> = (0..n).collect();
-
-    let mut rows = Vec::new();
-    for (label, policy) in [
-        ("fixed priority (naive)", DownlinkPolicy::FixedPriority),
-        ("max backlog (throughput)", DownlinkPolicy::MaxBacklog),
-        ("oldest data first (L2D2-flavored)", DownlinkPolicy::OldestData),
-    ] {
-        let r = simulate_downlink(&vt, &all, &DownlinkConfig {
-            arrival_bits_per_step: 2.0e6,
-            drain_bits_per_step: 100.0e6,
-            policy,
-        });
-        let total_drained: f64 = r.drained_bits.iter().sum();
-        let worst_backlog = r.final_backlog_bits.iter().cloned().fold(0.0f64, f64::max);
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.1}", total_drained / 8e9),
-            format!("{:.1}", r.mean_drain_age_steps * ctx.grid.step_s / 60.0),
-            format!("{:.1}", worst_backlog / 8e6),
-            format!("{:.1}", r.station_utilization * 100.0),
-        ]);
-    }
-    print_table(
-        &[
-            "policy",
-            "drained (GB)",
-            "mean data age (min)",
-            "worst backlog (MB)",
-            "station busy %",
-        ],
-        &rows,
-    );
-    println!("\ntakeaway: the naive fixed priority starves late-indexed");
-    println!("satellites (worst backlog explodes); oldest-data-first trades a");
-    println!("little throughput for bounded data age — the fairness policy a");
-    println!("multi-party ground segment would adopt as its neutral default.");
+    mpleo_bench::runner::main_for("ablation_downlink");
 }

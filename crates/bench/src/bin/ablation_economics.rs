@@ -1,80 +1,8 @@
-//! Ablation: the capital cost of coverage — go-it-alone vs MP-LEO.
-//!
-//! Converts the Fig. 2 coverage curve into 10-year dollars using public
-//! Starlink-class cost figures, pricing the paper's §1 claim ("investments
-//! between 10-30 billion dollars") and its §2 punchline (a 50-satellite
-//! contribution buys 1000-satellite coverage).
-
-use leosim::coverage::CoverageStats;
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo::economics::{go_it_alone, mp_leo_share, CostModel};
-use mpleo_bench::{print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_economics`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_economics` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "cost of coverage: go-it-alone vs MP-LEO share (Taipei)");
-
-    // Measure the size -> availability curve (Fig. 2's data).
-    let ctx = Context::new(&fidelity);
-    let taipei = [geodata::taipei()];
-    let vt = ctx.table_for(&taipei);
-    let sizes = [10usize, 50, 100, 200, 500, 1000, 2000];
-    let mut curve = Vec::new();
-    for &size in &sizes {
-        let mut acc = 0.0;
-        for run in 0..fidelity.runs {
-            let mut rng = run_rng(0xABE, run as u64);
-            let subset = sample_indices(&mut rng, vt.sat_count(), size);
-            acc += CoverageStats::from_bitset(&vt.coverage_union(&subset, 0), &vt.grid).covered_fraction;
-        }
-        curve.push((size, acc / fidelity.runs as f64));
-    }
-
-    let model = CostModel::default();
-    println!(
-        "cost model: ${:.1}M sat + ${:.1}M launch, ${:.2}M/yr ops, {:.0}-yr life",
-        model.sat_capex_musd, model.launch_per_sat_musd, model.annual_ops_per_sat_musd, model.design_life_years
-    );
-    println!(
-        "full-constellation check: 4400 sats over 10 years = ${:.1}B (paper: $10-30B)\n",
-        model.total_cost_musd(4400, 10.0) / 1000.0
-    );
-
-    let mut rows = Vec::new();
-    for &target in &[0.9f64, 0.99, 0.995] {
-        let alone = go_it_alone(&curve, target, &model);
-        let shared = mp_leo_share(&curve, target, 11, &model);
-        match (alone, shared) {
-            (Some(a), Some(s)) => rows.push(vec![
-                format!("{:.1}%", target * 100.0),
-                a.own_sats.to_string(),
-                format!("{:.2}", a.cost_10yr_musd / 1000.0),
-                s.own_sats.to_string(),
-                format!("{:.2}", s.cost_10yr_musd / 1000.0),
-                format!("{:.1}x", a.cost_10yr_musd / s.cost_10yr_musd),
-            ]),
-            _ => rows.push(vec![
-                format!("{:.1}%", target * 100.0),
-                "unreachable at sampled sizes".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]),
-        }
-    }
-    print_table(
-        &[
-            "availability target",
-            "alone: sats",
-            "alone: 10-yr $B",
-            "MP-LEO (11 parties): sats",
-            "MP-LEO: 10-yr $B",
-            "saving",
-        ],
-        &rows,
-    );
-    println!("\ntakeaway: the coverage a party needs costs ~11x less as an MP-LEO");
-    println!("share, because the curve's steep region (Fig. 2) is paid once and");
-    println!("split — the paper's economic case in dollars.");
+    mpleo_bench::runner::main_for("ablation_economics");
 }

@@ -1,50 +1,8 @@
-//! Ablation: sensitivity of coverage to the elevation mask.
-//!
-//! The transparent bent-pipe design (paper §3.1) pushes all RF decisions to
-//! the edges; the elevation mask is then the single link-layer knob the
-//! constellation design depends on. This ablation re-runs the Fig. 2 style
-//! experiment at several masks to show how the "satellites needed for
-//! coverage" conclusion scales with it.
-
-use leosim::coverage::{Aggregate, CoverageStats};
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo_bench::{print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_elevation`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_elevation` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "coverage vs elevation mask (Taipei receiver)");
-
-    let ctx = Context::new(&fidelity);
-    let taipei = [geodata::taipei()];
-    let masks = [10.0f64, 25.0, 40.0];
-    let sizes = [100usize, 500, 1000];
-
-    let mut rows = Vec::new();
-    for &mask in &masks {
-        // Positions don't depend on the mask: one shared propagation pass
-        // (via the context's ephemeris store) serves all three masks, where
-        // this loop used to re-propagate the full pool per mask.
-        let cfg = ctx.config.clone().with_mask_deg(mask);
-        let vt = ctx.table_for_config(&taipei, &cfg);
-        for &size in &sizes {
-            let mut unc = Vec::new();
-            for run in 0..fidelity.runs {
-                let mut rng = run_rng(0xAB1, run as u64);
-                let subset = sample_indices(&mut rng, vt.sat_count(), size);
-                let stats = CoverageStats::from_bitset(&vt.coverage_union(&subset, 0), &vt.grid);
-                unc.push(stats.uncovered_fraction * 100.0);
-            }
-            let agg = Aggregate::from_samples(&unc);
-            rows.push(vec![
-                format!("{mask:.0}"),
-                size.to_string(),
-                format!("{:.2}", agg.mean),
-                format!("{:.2}", 100.0 - agg.mean),
-            ]);
-        }
-    }
-    print_table(&["mask (deg)", "satellites", "no-coverage %", "coverage %"], &rows);
-    println!("\ntakeaway: the constellation size needed for a coverage target is");
-    println!("strongly mask-dependent — a 40 deg mask needs several times the");
-    println!("satellites of a 10 deg mask for the same availability.");
+    mpleo_bench::runner::main_for("ablation_elevation");
 }

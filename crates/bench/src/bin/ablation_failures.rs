@@ -1,58 +1,8 @@
-//! Ablation: stochastic satellite failures and replenishment.
-//!
-//! Withdrawals (Figs. 5/6) are adversarial; failures are the everyday case
-//! the paper also demands robustness against ("How do we deal with
-//! satellite failures?", §1). This study runs an exponential-lifetime
-//! failure process over the constellation and compares coverage with and
-//! without a replenishment launch cadence.
-
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo::failures::{simulate_failures, FailureModel};
-use mpleo_bench::{print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_failures`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_failures` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "failure process + replenishment (Taipei coverage)");
-
-    let ctx = Context::new(&fidelity);
-    let taipei = [geodata::taipei()];
-    let n = if fidelity.full { 500 } else { 200 };
-    let mut rng = run_rng(0xAB9, 0);
-    let idx = sample_indices(&mut rng, ctx.pool.len(), n);
-    let vt = ctx.subset_table(&idx, &taipei);
-    let all: Vec<usize> = (0..n).collect();
-    let window = (3600.0 / ctx.grid.step_s).max(1.0) as usize;
-
-    // Accelerated failure model so the effect is visible within the
-    // horizon: MTBF of 20 days (real satellites: years — scale, not shape).
-    let mtbf = 20.0 * 86_400.0;
-    let scenarios = [
-        ("no failures", FailureModel { mtbf_s: f64::INFINITY, launch_interval_s: 0.0, batch_size: 0 }),
-        ("failures, no replenishment", FailureModel { mtbf_s: mtbf, launch_interval_s: 0.0, batch_size: 0 }),
-        (
-            "failures + daily batch of 5",
-            FailureModel { mtbf_s: mtbf, launch_interval_s: 86_400.0, batch_size: 5 },
-        ),
-    ];
-    let mut rows = Vec::new();
-    for (label, model) in scenarios {
-        let run = simulate_failures(&vt, &all, 0, &model, window, 0xF411);
-        rows.push(vec![
-            label.to_string(),
-            format!("{}", run.failures),
-            format!("{}", run.replacements),
-            format!("{}", run.min_alive()),
-            format!("{:.2}", run.mean_coverage() * 100.0),
-            format!("{:.2}", run.coverage.last().unwrap_or(&0.0) * 100.0),
-        ]);
-    }
-    print_table(
-        &["scenario", "failures", "replacements", "min alive", "mean coverage %", "final coverage %"],
-        &rows,
-    );
-    println!("\ntakeaway: random failures degrade coverage smoothly — the same");
-    println!("graceful, stake-proportional behaviour as Fig. 5's withdrawals,");
-    println!("because interspersed ownership leaves no structural hole for a");
-    println!("random loss to widen. A modest replenishment cadence holds the");
-    println!("steady state; no coordination with other parties is needed.");
+    mpleo_bench::runner::main_for("ablation_failures");
 }

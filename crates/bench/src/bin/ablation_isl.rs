@@ -1,56 +1,8 @@
-//! Ablation: bent-pipe vs inter-satellite-link (ISL) relay connectivity.
-//!
-//! The paper's design omits ISLs to keep satellites simple (§3.1) and lists
-//! them as an open question (§4). This ablation quantifies what the
-//! omission costs: terminal connectivity under the transparent bent pipe
-//! (terminal and ground station must see the *same* satellite) vs an
-//! ISL-relay design where traffic may hop between satellites to reach a
-//! ground station.
-
-use leosim::bentpipe::{bentpipe_connectivity, isl_connectivity_from_store};
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo_bench::{print_table, Context, Fidelity};
-use orbital::ground::GroundSite;
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_isl`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_isl` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "bent-pipe vs ISL relay connectivity");
-
-    let ctx = Context::new(&fidelity);
-    // A remote terminal (Tonga — the paper's §1 disaster scenario) with the
-    // operator's only ground station in Sydney.
-    let terminal = [GroundSite::from_degrees("Tonga", -21.13, -175.2)];
-    let gs = [GroundSite::from_degrees("Sydney-GS", -33.87, 151.21)];
-
-    let sample = if fidelity.full { 400 } else { 150 };
-    let mut rng = run_rng(0xAB2, 0);
-    let idx = sample_indices(&mut rng, ctx.pool.len(), sample);
-    // One copied ephemeris slice serves the visibility tables and both ISL
-    // proximity graphs — the pool is propagated once for all four rows.
-    let store = ctx.subset_ephemeris(&idx);
-
-    let vt_t = ctx.subset_table(&idx, &terminal);
-    let vt_g = ctx.subset_table(&idx, &gs);
-    let plain: Vec<usize> = (0..idx.len()).collect();
-    let visibility = vt_t.coverage_union(&plain, 0).fraction_ones();
-
-    let bp = bentpipe_connectivity(&vt_t, &vt_g);
-    let isl1 = isl_connectivity_from_store(&store, &terminal, &gs, &ctx.config, 3000.0, 1);
-    let isl4 = isl_connectivity_from_store(&store, &terminal, &gs, &ctx.config, 3000.0, 4);
-
-    let rows = vec![
-        vec!["satellite visibility (upper bound)".into(), pct(visibility)],
-        vec!["bent-pipe (no ISL)".into(), pct(bp[0].connected.fraction_ones())],
-        vec!["ISL relay, 1 hop".into(), pct(isl1[0].connected.fraction_ones())],
-        vec!["ISL relay, 4 hops".into(), pct(isl4[0].connected.fraction_ones())],
-    ];
-    print_table(&["architecture", "terminal connectivity %"], &rows);
-    println!("\ntakeaway: the bent pipe pays a connectivity penalty whenever the");
-    println!("terminal is far from the operator's ground stations; each ISL hop");
-    println!("recovers a slice of the raw-visibility ceiling, at satellite-");
-    println!("complexity cost — or deploy an in-region ground station instead.");
-}
-
-fn pct(f: f64) -> String {
-    format!("{:.2}", f * 100.0)
+    mpleo_bench::runner::main_for("ablation_isl");
 }

@@ -1,68 +1,8 @@
-//! Ablation: LEO bent-pipe latency vs the geostationary alternative.
-//!
-//! The paper's §2 dismisses GEO because its altitude means "orders of
-//! magnitude degradation in network latency (second-level)". This study
-//! measures the actual bent-pipe delay distribution through the MP-LEO
-//! constellation and compares it with the closed-form GEO path.
-
-use leosim::latency::{bentpipe_latency_from_store, geo_latency_ms};
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo_bench::{print_table, Context, Fidelity};
-use orbital::ground::GroundSite;
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_latency`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_latency` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "LEO bent-pipe latency vs GEO (one-way)");
-
-    let ctx = Context::new(&fidelity);
-    let sample = if fidelity.full { 600 } else { 200 };
-    let mut rng = run_rng(0xAB4, 0);
-    let idx = sample_indices(&mut rng, ctx.pool.len(), sample);
-    let store = ctx.subset_ephemeris(&idx);
-
-    let terminal = GroundSite::from_degrees("Taipei", 25.03, 121.56);
-    let gs = GroundSite::from_degrees("Kaohsiung-GS", 22.63, 120.30);
-    let series = bentpipe_latency_from_store(&store, &terminal, &gs, &ctx.config);
-
-    let mut rows = Vec::new();
-    rows.push(vec![
-        format!("LEO bent pipe ({sample} sats)"),
-        fmt(series.mean_ms()),
-        fmt(series.percentile_ms(0.5)),
-        fmt(series.percentile_ms(0.99)),
-        format!("{:.1}", series.availability() * 100.0),
-    ]);
-    // GEO: terminal and GS are ~a few hundred km from the sub-satellite
-    // point in the best case; also show a poorly placed case.
-    let geo_best = geo_latency_ms(500.0, 500.0);
-    let geo_worst = geo_latency_ms(6000.0, 6000.0);
-    rows.push(vec![
-        "GEO bent pipe (best slot)".into(),
-        format!("{geo_best:.1}"),
-        format!("{geo_best:.1}"),
-        format!("{geo_best:.1}"),
-        "100.0".into(),
-    ]);
-    rows.push(vec![
-        "GEO bent pipe (edge of footprint)".into(),
-        format!("{geo_worst:.1}"),
-        format!("{geo_worst:.1}"),
-        format!("{geo_worst:.1}"),
-        "100.0".into(),
-    ]);
-    print_table(
-        &["path", "mean (ms)", "p50 (ms)", "p99 (ms)", "availability %"],
-        &rows,
-    );
-    println!(
-        "\nLEO one-way delay is ~{:.0} ms vs GEO's ~{:.0} ms — {}x; a",
-        series.mean_ms().unwrap_or(0.0),
-        geo_best,
-        (geo_best / series.mean_ms().unwrap_or(1.0)).round()
-    );
-    println!("request/response over GEO costs ~0.5 s, the paper's 'second-level'.");
-}
-
-fn fmt(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into())
+    mpleo_bench::runner::main_for("ablation_latency");
 }

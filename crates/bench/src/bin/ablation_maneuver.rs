@@ -1,58 +1,8 @@
-//! Ablation: coverage gain per unit of propellant — the economics beneath
-//! Fig. 4c.
-//!
-//! Fig. 4c says inclination diversity buys the most coverage; this study
-//! adds what each option *costs* to reach from a shared launch (delta-v and
-//! propellant fraction), turning the coverage ranking into a value-per-cost
-//! ranking a profit-seeking participant would actually use.
-
-use mpleo::placement::category_study;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity, scenario_epoch};
-use orbital::maneuver::{hohmann, phasing, plane_change};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_maneuver`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_maneuver` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "coverage per delta-v across placement categories");
-
-    let ctx = Context::new(&fidelity);
-    let results = category_study(&ctx.sites, &ctx.weights, &ctx.grid, &ctx.config, scenario_epoch());
-    let week_scale = 7.0 * 86_400.0 / ctx.grid.duration_s();
-
-    // Costs to reach each slot from the base's orbit (53 deg, 546 km,
-    // phase 0) after rideshare deployment there.
-    let costs = [
-        plane_change(546.0, 10f64.to_radians()),       // 53 -> 43 deg
-        hohmann(546.0, 600.0),                         // +54 km
-        phasing(546.0, 45f64.to_radians(), 30),        // 45 deg slot shift
-    ];
-    let isp = 1500.0; // electric propulsion
-
-    let mut rows = Vec::new();
-    for (r, cost) in results.iter().zip(costs.iter()) {
-        let gain_min = r.gain_s * week_scale / 60.0;
-        let value = if cost.delta_v_km_s > 1e-6 { gain_min / (cost.delta_v_km_s * 1000.0) } else { f64::INFINITY };
-        rows.push(vec![
-            r.category.label().to_string(),
-            format!("{gain_min:.0}"),
-            format!("{:.0}", cost.delta_v_km_s * 1000.0),
-            format!("{:.1}", cost.propellant_fraction(isp) * 100.0),
-            fmt_dur(cost.duration_s),
-            format!("{value:.3}"),
-        ]);
-    }
-    print_table(
-        &[
-            "category",
-            "gain (min/wk)",
-            "delta-v (m/s)",
-            "propellant % (isp 1500)",
-            "maneuver time",
-            "min gained per m/s",
-        ],
-        &rows,
-    );
-    println!("\ntakeaway: inclination wins Fig. 4c's coverage race but loses the");
-    println!("value race by orders of magnitude — which is why real participants");
-    println!("buy inclination diversity at *launch* (a different rideshare), and");
-    println!("use on-orbit propellant only for phase/altitude separation.");
+    mpleo_bench::runner::main_for("ablation_maneuver");
 }

@@ -1,56 +1,8 @@
-//! Ablation: interleaved vs clustered satellite ownership.
-//!
-//! The paper's §3.3 closes: coverage-optimal placement "naturally leads to
-//! a constellation where satellites from multiple parties do not form a
-//! cluster and are interspersed", and that this interspersion is what makes
-//! withdrawal graceful. This study isolates that claim: same constellation,
-//! same stakes, only the *assignment* of satellites to parties differs —
-//! random interleaving vs contiguous orbital-plane blocks.
-
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo::party::{skewed_ratios, PartyKind};
-use mpleo::registry::ConstellationRegistry;
-use mpleo::robustness::withdrawal_loss;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_ownership`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_ownership` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "interleaved vs clustered ownership (largest of 5 parties withdraws)");
-
-    let ctx = Context::new(&fidelity);
-    println!("computing pool visibility table ({} sats x 21 cities)...", ctx.pool.len());
-    let vt = ctx.city_table();
-    let week_s = 7.0 * 86_400.0;
-    let total = 500;
-    let ratios = skewed_ratios(2.0, 4); // 2:1:1:1:1 over 500 sats
-
-    let mut rows = Vec::new();
-    for (label, shuffle) in [("clustered (contiguous planes)", false), ("interleaved (random)", true)] {
-        let mut losses = Vec::new();
-        for run in 0..fidelity.runs {
-            let mut rng = run_rng(0xAB6, run as u64);
-            let base = sample_indices(&mut rng, vt.sat_count(), total);
-            let reg = if shuffle {
-                let mut reg_rng = run_rng(0xAB6 ^ 0xFF, run as u64);
-                ConstellationRegistry::from_ratios(total, &ratios, PartyKind::Country, Some(&mut reg_rng))
-            } else {
-                ConstellationRegistry::from_ratios(total, &ratios, PartyKind::Country, None)
-            };
-            let largest = reg.largest_party();
-            let withdrawn: Vec<usize> = largest.satellites.iter().map(|&p| base[p]).collect();
-            losses.push(withdrawal_loss(&vt, &base, &withdrawn, &ctx.weights));
-        }
-        let mean_pct = losses.iter().map(|l| l.loss_pct_of_horizon).sum::<f64>() / losses.len() as f64;
-        rows.push(vec![
-            label.to_string(),
-            format!("{mean_pct:.2}"),
-            fmt_dur(mean_pct / 100.0 * week_s),
-        ]);
-    }
-    print_table(&["ownership layout", "coverage loss %", "loss per week"], &rows);
-    println!("\nnote: the pool is sampled randomly, so 'contiguous' blocks are");
-    println!("contiguous in *sample order*, which for a Walker pool means whole");
-    println!("planes/shells — the clustered worst case the paper warns about.");
-    println!("Interleaving spreads each party across orbital geometry, so one");
-    println!("party's exit thins coverage evenly instead of opening plane-wide holes.");
+    mpleo_bench::runner::main_for("ablation_ownership");
 }

@@ -1,86 +1,8 @@
-//! Ablation: transparent repeater vs regenerative payload.
-//!
-//! The paper chooses a transparent bent pipe (§3.1) and flags the cost in
-//! §4: packet-level (regenerative) designs "avoid any amplification of
-//! noise from ground transmissions". This study runs the link budget for
-//! both architectures across the elevation range a pass sweeps, showing the
-//! throughput the transparency simplification gives up.
-
-use leosim::linkbudget::{
-    end_to_end_capacity_bps, end_to_end_cn, slant_range_km, PayloadArchitecture, RfLeg,
-};
-use mpleo_bench::print_table;
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_payload`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_payload` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    println!("=== Ablation: transparent vs regenerative payload (Ku band, 550 km) ===\n");
-    let up = RfLeg::ku_user_uplink();
-    let down = RfLeg::ku_gateway_downlink();
-
-    let mut rows = Vec::new();
-    for el_deg in [10.0f64, 25.0, 40.0, 60.0, 90.0] {
-        let r = slant_range_km(550.0, el_deg.to_radians());
-        let cn_t = end_to_end_cn(PayloadArchitecture::Transparent, &up, r, &down, r);
-        let cn_r = end_to_end_cn(PayloadArchitecture::Regenerative, &up, r, &down, r);
-        let cap_t = end_to_end_capacity_bps(PayloadArchitecture::Transparent, &up, r, &down, r);
-        let cap_r = end_to_end_capacity_bps(PayloadArchitecture::Regenerative, &up, r, &down, r);
-        rows.push(vec![
-            format!("{el_deg:.0}"),
-            format!("{r:.0}"),
-            format!("{:.1}", 10.0 * cn_t.log10()),
-            format!("{:.1}", 10.0 * cn_r.log10()),
-            format!("{:.0}", cap_t / 1e6),
-            format!("{:.0}", cap_r / 1e6),
-            format!("{:.1}", 100.0 * (cap_r - cap_t) / cap_r),
-        ]);
-    }
-    print_table(
-        &[
-            "elevation (deg)",
-            "slant range (km)",
-            "C/N transp (dB)",
-            "C/N regen (dB)",
-            "rate transp (Mbps)",
-            "rate regen (Mbps)",
-            "throughput given up %",
-        ],
-        &rows,
-    );
-
-    // Second scenario: terminal-to-terminal relay (no gateway). Both legs
-    // end at small user antennas, so the budgets are balanced and the
-    // transparent noise-stacking shows its full 3 dB.
-    println!("\nterminal-to-terminal relay (balanced legs — both ends are user dishes):\n");
-    let down_user = RfLeg { g_over_t_db_k: 8.0, ..down };
-    let mut rows2 = Vec::new();
-    for el_deg in [10.0f64, 40.0, 90.0] {
-        let r = slant_range_km(550.0, el_deg.to_radians());
-        let cn_t = end_to_end_cn(PayloadArchitecture::Transparent, &up, r, &down_user, r);
-        let cn_r = end_to_end_cn(PayloadArchitecture::Regenerative, &up, r, &down_user, r);
-        let cap_t = end_to_end_capacity_bps(PayloadArchitecture::Transparent, &up, r, &down_user, r);
-        let cap_r = end_to_end_capacity_bps(PayloadArchitecture::Regenerative, &up, r, &down_user, r);
-        rows2.push(vec![
-            format!("{el_deg:.0}"),
-            format!("{:.1}", 10.0 * cn_t.log10()),
-            format!("{:.1}", 10.0 * cn_r.log10()),
-            format!("{:.0}", cap_t / 1e6),
-            format!("{:.0}", cap_r / 1e6),
-            format!("{:.1}", 100.0 * (cap_r - cap_t) / cap_r),
-        ]);
-    }
-    print_table(
-        &[
-            "elevation (deg)",
-            "C/N transp (dB)",
-            "C/N regen (dB)",
-            "rate transp (Mbps)",
-            "rate regen (Mbps)",
-            "throughput given up %",
-        ],
-        &rows2,
-    );
-    println!("\ntakeaway: transparency costs ~3 dB of C/N when the legs are");
-    println!("balanced, a modest single-digit-percent throughput loss at these");
-    println!("budgets — cheap relative to what it buys the paper's design:");
-    println!("protocol freedom, end-to-end encryption, and dumb, long-lived");
-    println!("satellites that any party can use without interoperability work.");
+    mpleo_bench::runner::main_for("ablation_payload");
 }

@@ -1,82 +1,8 @@
-//! Ablation: fixed vs scarcity (dynamic) pricing under skewed stakes.
-//!
-//! The paper leaves market design open (§3.2, §4): "These prices can be
-//! dynamically set, leading to open data markets, or they can be
-//! predetermined." This ablation settles the same service records under
-//! both models and compares how revenue tracks stake.
-
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo::incentives::{service_records, settle, visible_count_matrix, PricingModel};
-use mpleo::party::{allocate_by_ratio, skewed_ratios, PartyId};
-use mpleo_bench::{print_table, Context, Fidelity};
-use std::collections::HashMap;
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_pricing`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_pricing` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "fixed vs dynamic pricing revenue split (3:1:1 stakes)");
-
-    let ctx = Context::new(&fidelity);
-    let sample = if fidelity.full { 250 } else { 100 };
-    let mut rng = run_rng(0xAB3, 0);
-    let idx = sample_indices(&mut rng, ctx.pool.len(), sample);
-    // Five consumer cities; consumers are a separate party so the whole
-    // provider side is revenue-positive.
-    let sites = &ctx.sites[..5];
-    let vt = ctx.subset_table(&idx, sites);
-
-    // Stakes 3:1:1 over the sample, interleaved.
-    let counts = allocate_by_ratio(sample, &skewed_ratios(3.0, 2));
-    let mut sat_owner: HashMap<usize, PartyId> = HashMap::new();
-    let mut cursor = 0;
-    for (pi, &c) in counts.iter().enumerate() {
-        for k in 0..c {
-            // Interleave by striding.
-            let sat = (cursor + k) % sample;
-            sat_owner.entry(sat).or_insert_with(|| PartyId::new(format!("party-{pi}")));
-            cursor += 0;
-        }
-        cursor += c;
-    }
-    // Fill any holes deterministically.
-    for s in 0..sample {
-        sat_owner.entry(s).or_insert_with(|| PartyId::new("party-0"));
-    }
-    let site_consumer: HashMap<usize, PartyId> =
-        (0..sites.len()).map(|s| (s, PartyId::new("consumers"))).collect();
-
-    let all: Vec<usize> = (0..sample).collect();
-    let records = service_records(&vt, &all);
-    let counts_matrix = visible_count_matrix(&vt, &all);
-
-    let fixed = settle(&records, &sat_owner, &site_consumer, PricingModel::Fixed { rate: 1.0 }, &counts_matrix);
-    let dynamic = settle(
-        &records,
-        &sat_owner,
-        &site_consumer,
-        PricingModel::Dynamic { base: 1.0, surge: 3.0 },
-        &counts_matrix,
-    );
-
-    let mut rows = Vec::new();
-    for (pi, &c) in counts.iter().enumerate() {
-        let id = PartyId::new(format!("party-{pi}"));
-        rows.push(vec![
-            id.to_string(),
-            c.to_string(),
-            format!("{:.0}", fixed.balance(&id)),
-            format!("{:.0}", dynamic.balance(&id)),
-        ]);
-    }
-    rows.push(vec![
-        "consumers".into(),
-        "0".into(),
-        format!("{:.0}", fixed.balance(&PartyId::new("consumers"))),
-        format!("{:.0}", dynamic.balance(&PartyId::new("consumers"))),
-    ]);
-    print_table(&["party", "satellites", "fixed revenue", "dynamic revenue"], &rows);
-    println!("\nfixed volume: {:.0} credits, dynamic volume: {:.0} credits", fixed.volume, dynamic.volume);
-    println!("takeaway: both models pay roughly in proportion to stake, but");
-    println!("scarcity pricing shifts revenue toward satellites that serve");
-    println!("steps with few alternatives — rewarding exactly the gap-filling");
-    println!("placements the paper's incentive argument wants to encourage.");
+    mpleo_bench::runner::main_for("ablation_pricing");
 }

@@ -1,54 +1,8 @@
-//! Ablation: which SLA tiers can a constellation of a given size sell?
-//!
-//! Ties the paper's Fig. 2 coverage curve to its §4 market-design question
-//! ("What kinds of quality-of-service can they provide?"): for each
-//! constellation size, classify the Taipei coverage into service tiers and
-//! report the handover load a subscriber would see.
-
-use leosim::coverage::CoverageStats;
-use leosim::montecarlo::{run_rng, sample_indices};
-use mpleo::handover::{simulate_handover, HandoverPolicy};
-use mpleo::sla::quote;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_qos`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only ablation_qos` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Ablation", "sellable SLA tier vs constellation size (Taipei)");
-
-    let ctx = Context::new(&fidelity);
-    let taipei = [geodata::taipei()];
-    let vt = ctx.table_for(&taipei);
-
-    let mut rows = Vec::new();
-    for &size in &[25usize, 100, 300, 700, 1500] {
-        let mut rng = run_rng(0xAB8, size as u64);
-        let subset = sample_indices(&mut rng, vt.sat_count(), size);
-        let covered = vt.coverage_union(&subset, 0);
-        let stats = CoverageStats::from_bitset(&covered, &vt.grid);
-        let q = quote(&stats);
-        let trace = simulate_handover(&vt, 0, &subset, HandoverPolicy::StickyMaxDwell);
-        rows.push(vec![
-            size.to_string(),
-            format!("{:.3}", q.availability * 100.0),
-            fmt_dur(q.worst_outage_s),
-            q.tier.name.to_string(),
-            format!("{:.1}x", q.tier.price_multiplier),
-            format!("{:.1}", trace.handover_rate_per_hour(ctx.grid.step_s)),
-        ]);
-    }
-    print_table(
-        &[
-            "satellites",
-            "availability %",
-            "worst outage",
-            "sellable tier",
-            "price",
-            "handovers /connected h",
-        ],
-        &rows,
-    );
-    println!("\ntakeaway: the tier ladder quantizes Fig. 2's smooth coverage curve");
-    println!("into the products a participant can actually sell — sparse");
-    println!("constellations monetize as delay-tolerant service (the §4");
-    println!("bootstrapping path) long before interactive tiers unlock.");
+    mpleo_bench::runner::main_for("ablation_qos");
 }

@@ -1,67 +1,8 @@
-//! Figure 1a: the ground track of one LEO satellite across three hours.
-//!
-//! The paper's figure shows the sub-satellite point drifting to a different
-//! path on every orbit (color red -> blue with time). This binary prints the
-//! lat/lon series and summarizes the westward drift per orbit.
-
-use leosim::ephemeris::EphemerisStore;
-use leosim::visibility::SimConfig;
-use leosim::TimeGrid;
-use mpleo_bench::{print_table, scenario_epoch};
-use orbital::constellation::single_plane;
-use orbital::frames::ecef_to_geodetic;
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::fig1a`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only fig1a` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    println!("=== Fig 1a: orbital motion of a LEO satellite across three hours ===");
-    let epoch = scenario_epoch();
-    let sats = single_plane(1, 550.0, 53.0, epoch);
-    let period_s = sats[0].elements.period_s();
-    println!("satellite: 550 km, 53 deg inclination, period {:.1} min", period_s / 60.0);
-
-    let mut rows = Vec::new();
-    let mut equator_crossings: Vec<(f64, f64)> = Vec::new(); // (t, lon)
-    let mut last: Option<(f64, f64)> = None; // (lat, lon at previous step)
-    let step_s = 30.0;
-    let horizon_s = 3.0 * 3600.0;
-    // Track the crossings over a longer window (4 orbits) so the per-orbit
-    // drift table below has several rows even though the figure's track
-    // spans 3 hours.
-    let crossing_horizon_s = 4.2 * period_s;
-    let grid = TimeGrid::new(epoch, crossing_horizon_s, step_s);
-    // The store already holds ECEF positions, so the sub-satellite point is
-    // a direct geodetic conversion — no per-step propagation here.
-    let store = EphemerisStore::build(&sats, &grid, &SimConfig::default());
-    for k in 0..grid.steps {
-        let t = k as f64 * step_s;
-        let g = ecef_to_geodetic(store.position(0, k));
-        let (lat, lon) = (g.latitude_deg(), g.longitude_deg());
-        if t <= horizon_s && (t as u64).is_multiple_of(600) {
-            rows.push(vec![
-                format!("{:.0}", t / 60.0),
-                format!("{lat:.2}"),
-                format!("{lon:.2}"),
-            ]);
-        }
-        if let Some((prev_lat, prev_lon)) = last {
-            if prev_lat < 0.0 && lat >= 0.0 && t > step_s {
-                equator_crossings.push((t, (prev_lon + lon) / 2.0));
-            }
-        }
-        last = Some((lat, lon));
-    }
-    print_table(&["t (min)", "lat (deg)", "lon (deg)"], &rows);
-
-    println!("\nascending equator crossings (the paper's per-orbit drift):");
-    let mut drift_rows = Vec::new();
-    for pair in equator_crossings.windows(2) {
-        let dl = orbital::math::wrap_pi((pair[1].1 - pair[0].1).to_radians()).to_degrees();
-        drift_rows.push(vec![
-            format!("{:.1}", pair[0].0 / 60.0),
-            format!("{:.2}", pair[0].1),
-            format!("{dl:.2}"),
-        ]);
-    }
-    print_table(&["t (min)", "crossing lon (deg)", "drift to next (deg)"], &drift_rows);
-    println!("\nshape check: each orbit's track shifts ~-24 deg west; the satellite");
-    println!("covers a different path each revolution, so no single region keeps it.");
+    mpleo_bench::runner::main_for("fig1a");
 }

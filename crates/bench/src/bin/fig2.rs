@@ -1,55 +1,8 @@
-//! Figure 2: percentage of time *without* coverage vs constellation size,
-//! for a receiver in Taipei.
-//!
-//! Paper protocol: coverage gap over one week, averaged over 100 runs; each
-//! run randomly samples N satellites from the Starlink network. Headline
-//! numbers: >50% uncovered at 100 satellites (with gaps over an hour);
-//! >=99.5% coverage needs ~1000 satellites.
-
-use leosim::coverage::{Aggregate, CoverageStats};
-use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::fig2`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only fig2` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Fig 2", "time without coverage vs number of satellites (Taipei)");
-
-    let ctx = Context::new(&fidelity);
-    let taipei = [geodata::taipei()];
-    let vt = ctx.table_for(&taipei);
-    run(&vt, &fidelity);
-}
-
-fn run(vt: &VisibilityTable, fidelity: &Fidelity) {
-    let sizes = [10usize, 50, 100, 200, 500, 1000, 2000];
-    let n = vt.sat_count();
-    let mut rows = Vec::new();
-    for &size in &sizes {
-        let mut uncovered = Vec::with_capacity(fidelity.runs);
-        let mut max_gaps = Vec::with_capacity(fidelity.runs);
-        for run in 0..fidelity.runs {
-            let mut rng = run_rng(0xF162, run as u64);
-            let subset = sample_indices(&mut rng, n, size);
-            let cov = vt.coverage_union(&subset, 0);
-            let stats = CoverageStats::from_bitset(&cov, &vt.grid);
-            uncovered.push(stats.uncovered_fraction * 100.0);
-            max_gaps.push(stats.max_gap_s);
-        }
-        let unc = Aggregate::from_samples(&uncovered);
-        let gap = Aggregate::from_samples(&max_gaps);
-        rows.push(vec![
-            size.to_string(),
-            format!("{:.2}", unc.mean),
-            format!("{:.2}", unc.std_dev),
-            fmt_dur(gap.mean),
-            format!("{:.3}", 100.0 - unc.mean),
-        ]);
-    }
-    print_table(
-        &["satellites", "no-coverage %", "std", "mean max gap", "coverage %"],
-        &rows,
-    );
-    println!("\npaper shape: >50% uncovered @100 sats (gaps over an hour);");
-    println!("             >=99.5% coverage reached around 1000 sats.");
+    mpleo_bench::runner::main_for("fig2");
 }

@@ -1,47 +1,8 @@
-//! Figure 3: satellite idle time vs number of cities served.
-//!
-//! Paper protocol: terminals at 1..=21 cities (top-20 most populated, one
-//! per country, plus Melbourne); a satellite is idle when not connected to
-//! any terminal. Headline: serving one city leaves satellites idle 99% of
-//! the time; idle time falls as the served set grows.
-
-use leosim::idle::mean_idle_fraction;
-use leosim::montecarlo::{run_rng, sample_indices};
-use leosim::visibility::VisibilityTable;
-use mpleo_bench::{print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::fig3`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only fig3` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Fig 3", "satellite idle time vs number of cities served");
-
-    let ctx = Context::new(&fidelity);
-    // The paper samples a Starlink deployment; we take a deterministic
-    // random sample of the pool as "the constellation" whose idle time is
-    // measured.
-    let sample_size = if fidelity.full { 1000 } else { 300 };
-    let mut rng = run_rng(0xF163, 0);
-    let sample = sample_indices(&mut rng, ctx.pool.len(), sample_size);
-    let vt = ctx.subset_table(&sample, &ctx.sites);
-    run(&vt, sample_size);
-}
-
-fn run(vt: &VisibilityTable, sample_size: usize) {
-    println!("constellation sample: {sample_size} satellites\n");
-    let mut rows = Vec::new();
-    for cities in 1..=21usize {
-        let served: Vec<usize> = (0..cities).collect();
-        let idle = mean_idle_fraction(vt, &served);
-        rows.push(vec![
-            cities.to_string(),
-            vt.site_names[cities - 1].clone(),
-            format!("{:.2}", idle * 100.0),
-            format!("{:.2}", (1.0 - idle) * 100.0),
-        ]);
-    }
-    print_table(
-        &["cities served", "last city added", "idle %", "busy %"],
-        &rows,
-    );
-    println!("\npaper shape: ~99% idle at 1 city, monotonically decreasing as");
-    println!("             the served set expands across the globe.");
+    mpleo_bench::runner::main_for("fig3");
 }

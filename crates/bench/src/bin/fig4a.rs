@@ -1,41 +1,8 @@
-//! Figure 4a: coverage gained by adding one random satellite to bases of
-//! 1, 100, and 500 satellites.
-//!
-//! Paper protocol: population-weighted coverage over the 21 cities across
-//! one week, 100 runs; each run samples the base and the added satellite
-//! from the Starlink network. Headline: adding to a 1-satellite base gains
-//! over 1 hour on average (max over 4 hours); gains shrink as the base
-//! grows.
-
-use mpleo::placement::random_addition_experiment;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::fig4a`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only fig4a` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Fig 4a", "marginal coverage of one added satellite vs base size");
-
-    let ctx = Context::new(&fidelity);
-    println!("computing pool visibility table ({} sats x 21 cities)...", ctx.pool.len());
-    let vt = ctx.city_table();
-
-    // Scale gains to a one-week horizon so quick runs print paper-comparable
-    // numbers.
-    let week_scale = 7.0 * 86_400.0 / ctx.grid.duration_s();
-    let mut rows = Vec::new();
-    for &base in &[1usize, 100, 500] {
-        let agg = random_addition_experiment(&vt, base, &ctx.weights, fidelity.runs, 0xF164A);
-        rows.push(vec![
-            base.to_string(),
-            fmt_dur(agg.mean * week_scale),
-            fmt_dur(agg.max * week_scale),
-            fmt_dur(agg.min * week_scale),
-            format!("{:.1}", agg.std_dev * week_scale / 60.0),
-        ]);
-    }
-    print_table(
-        &["base size", "mean gain /wk", "max gain /wk", "min gain /wk", "std (min)"],
-        &rows,
-    );
-    println!("\npaper shape: >1 h mean (max >4 h) on a 1-satellite base;");
-    println!("             clearly diminishing at 100 and 500 satellites.");
+    mpleo_bench::runner::main_for("fig4a");
 }

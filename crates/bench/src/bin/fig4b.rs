@@ -1,38 +1,8 @@
-//! Figure 4b: impact of phase placement between two existing satellites.
-//!
-//! Paper protocol: 12 satellites in one plane (53 deg, 546 km), 30 deg
-//! apart; add one satellite at each of 29 phase offsets (about 1 deg /
-//! 120 km apart) between two originals. Headline: the midpoint (15 deg from
-//! each neighbor) maximizes the coverage improvement.
-
-use mpleo::placement::phase_sweep;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity, scenario_epoch};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::fig4b`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only fig4b` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Fig 4b", "coverage gain vs phase offset of the added satellite");
-
-    let ctx = Context::new(&fidelity);
-    let points = phase_sweep(&ctx.sites, &ctx.weights, &ctx.grid, &ctx.config, scenario_epoch());
-    let week_scale = 7.0 * 86_400.0 / ctx.grid.duration_s();
-
-    let best = points
-        .iter()
-        .max_by(|a, b| a.gain_s.partial_cmp(&b.gain_s).unwrap())
-        .expect("sweep is non-empty");
-    let mut rows = Vec::new();
-    for p in &points {
-        let marker = if (p.offset_deg - best.offset_deg).abs() < 1e-9 { " <-- max" } else { "" };
-        rows.push(vec![
-            format!("{:.0}", p.offset_deg),
-            fmt_dur(p.gain_s * week_scale),
-            format!("{:.1}{marker}", p.gain_s * week_scale / 60.0),
-        ]);
-    }
-    print_table(&["offset (deg)", "gain /wk", "gain (min)"], &rows);
-    println!(
-        "\nmaximum at {:.0} deg offset (paper: 15 deg, the midpoint between",
-        best.offset_deg
-    );
-    println!("the two existing satellites — farthest from both).");
+    mpleo_bench::runner::main_for("fig4b");
 }

@@ -1,32 +1,8 @@
-//! Figure 4c: impact of varying inclination, altitude, and phase.
-//!
-//! Paper protocol: base of four Starlink-like satellites (53 deg, 546 km,
-//! 90 deg apart in one plane); add one satellite from each of three
-//! categories: (1) different inclination (43 deg), (2) same plane/phase but
-//! different altitude, (3) same plane but different phase. Headline:
-//! different inclination wins (~+1 h 11 m over a week); the other two still
-//! gain over 30 minutes.
-
-use mpleo::placement::category_study;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity, scenario_epoch};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::fig4c`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only fig4c` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Fig 4c", "coverage gain by candidate category (4-satellite base)");
-
-    let ctx = Context::new(&fidelity);
-    let results = category_study(&ctx.sites, &ctx.weights, &ctx.grid, &ctx.config, scenario_epoch());
-    let week_scale = 7.0 * 86_400.0 / ctx.grid.duration_s();
-
-    let mut rows = Vec::new();
-    for r in &results {
-        rows.push(vec![
-            r.category.label().to_string(),
-            fmt_dur(r.gain_s * week_scale),
-            format!("{:.1}", r.gain_s * week_scale / 60.0),
-        ]);
-    }
-    print_table(&["category", "gain /wk", "gain (min)"], &rows);
-    println!("\npaper shape: different inclination highest (~1 h 11 m);");
-    println!("             different altitude and phase both gain > 30 min.");
+    mpleo_bench::runner::main_for("fig4c");
 }

@@ -1,36 +1,8 @@
-//! Figure 5: coverage reduction when half the constellation denies service.
-//!
-//! Paper protocol: base constellations of L in {200, 500, 1000, 2000}
-//! satellites; withdraw a random L/2; population-weighted coverage over one
-//! week, 100 runs. Headline: 24.17% reduction (1 d 16 h) at L=200, shrinking
-//! to 0.37% at L=2000.
-
-use mpleo::robustness::half_withdrawal_experiment;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::fig5`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only fig5` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Fig 5", "coverage lost when half the satellites withdraw");
-
-    let ctx = Context::new(&fidelity);
-    println!("computing pool visibility table ({} sats x 21 cities)...", ctx.pool.len());
-    let vt = ctx.city_table();
-    let week_s = 7.0 * 86_400.0;
-
-    let mut rows = Vec::new();
-    for &l in &[200usize, 500, 1000, 2000] {
-        let agg = half_withdrawal_experiment(&vt, l, &ctx.weights, fidelity.runs, 0xF165);
-        rows.push(vec![
-            l.to_string(),
-            format!("{:.2}", agg.mean),
-            format!("{:.2}", agg.std_dev),
-            fmt_dur(agg.mean / 100.0 * week_s),
-        ]);
-    }
-    print_table(
-        &["constellation L", "coverage loss %", "std", "loss per week"],
-        &rows,
-    );
-    println!("\npaper shape: large loss at L=200 (24.17%, i.e. 1d 16h/week),");
-    println!("             subsiding to 0.37% at L=2000.");
+    mpleo_bench::runner::main_for("fig5");
 }

@@ -1,41 +1,8 @@
-//! Figure 6: coverage reduction vs stake skew when the largest party
-//! withdraws.
-//!
-//! Paper protocol: 1000 satellites split across 11 parties with stake ratio
-//! r:1:…:1 for r in 1..=10; the largest party withdraws; population-weighted
-//! coverage over one week, 100 runs. Headline: equal stakes (91 sats each)
-//! minimize the loss; at 10:1 (500 sats) the loss grows to ~5.5% (10 h of
-//! no coverage per week) yet the network stays serviceable.
-
-use mpleo::robustness::skewed_withdrawal_experiment;
-use mpleo_bench::{fmt_dur, print_table, Context, Fidelity};
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::fig6`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only fig6` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    fidelity.banner("Fig 6", "coverage loss vs stake ratio (largest of 11 parties withdraws)");
-
-    let ctx = Context::new(&fidelity);
-    println!("computing pool visibility table ({} sats x 21 cities)...", ctx.pool.len());
-    let vt = ctx.city_table();
-    let week_s = 7.0 * 86_400.0;
-
-    let mut rows = Vec::new();
-    for r in 1..=10u32 {
-        let agg =
-            skewed_withdrawal_experiment(&vt, 1000, r as f64, 10, &ctx.weights, fidelity.runs, 0xF166);
-        let largest = mpleo::party::allocate_by_ratio(1000, &mpleo::party::skewed_ratios(r as f64, 10))[0];
-        rows.push(vec![
-            format!("{r}:1:...:1"),
-            largest.to_string(),
-            format!("{:.2}", agg.mean),
-            format!("{:.2}", agg.std_dev),
-            fmt_dur(agg.mean / 100.0 * week_s),
-        ]);
-    }
-    print_table(
-        &["stake ratio", "largest party sats", "coverage loss %", "std", "loss per week"],
-        &rows,
-    );
-    println!("\npaper shape: loss grows with skew; ~5.5% (10 h/week) at 10:1,");
-    println!("             still serviceable because the rest hold ~half the network.");
+    mpleo_bench::runner::main_for("fig6");
 }

@@ -1,0 +1,16 @@
+//! The unified experiment runner: any subset of the 21 registered
+//! figures/ablations in one process over one shared context. See
+//! `--help` for flags; `mpleo experiments` is the same runner behind the
+//! main CLI.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match mpleo_bench::runner::parse_args(&args) {
+        Ok(cmd) => mpleo_bench::runner::execute(cmd, "suite"),
+        Err(e) => {
+            eprintln!("suite: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

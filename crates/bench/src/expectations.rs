@@ -1,0 +1,225 @@
+//! Paper-expectation gates.
+//!
+//! Each experiment declares the paper's headline numbers as a table of
+//! [`Expectation`]s — a metric (a key into the result's scalars), a
+//! comparator with a tolerance band, and the paper reference the number
+//! comes from. The runner evaluates every band to pass/warn/fail, records
+//! the outcomes in the JSON result, and (with `--strict`) folds them into
+//! the process exit code. This replaces the old `println!` epilogues
+//! ("paper shape: …") that nothing machine-checked.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a measured scalar is compared against the paper target.
+/// (Outcomes serialize the comparator as its symbol string, so the enum
+/// itself stays serde-free.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparator {
+    /// Measured must be at least the target (warn band: `target - tol`).
+    Ge,
+    /// Measured must be at most the target (warn band: `target + tol`).
+    Le,
+    /// Measured must be within `tol` of the target (warn band: `2 * tol`).
+    Within,
+}
+
+impl Comparator {
+    /// Human operator, for reports.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Comparator::Ge => ">=",
+            Comparator::Le => "<=",
+            Comparator::Within => "≈",
+        }
+    }
+}
+
+/// A paper-expectation band on one scalar metric. Declared with
+/// `&'static str` references into the experiment, so it is not a serde
+/// type — only the evaluated [`ExpectationOutcome`] is serialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expectation {
+    /// Key into the result's scalars.
+    pub metric: &'static str,
+    /// Comparison direction.
+    pub comparator: Comparator,
+    /// The paper's number (or the bound derived from its claim).
+    pub target: f64,
+    /// Tolerance band: a violation within it is a warning, beyond it a
+    /// failure.
+    pub tol: f64,
+    /// Where in the paper the number comes from.
+    pub paper_ref: &'static str,
+    /// Enforce strictly at quick fidelity too. Expectations that only
+    /// materialize at the paper's week-long horizon set this to `false`
+    /// and are auto-downgraded to warnings on quick runs.
+    pub quick_strict: bool,
+}
+
+/// Pass/warn/fail status of one evaluated expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Status {
+    /// The band holds.
+    Pass,
+    /// The band is violated within tolerance, or was downgraded (quick
+    /// fidelity or warn-only mode).
+    Warn,
+    /// The band is violated beyond tolerance.
+    Fail,
+}
+
+impl Status {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Status::Pass => "pass",
+            Status::Warn => "warn",
+            Status::Fail => "FAIL",
+        }
+    }
+}
+
+/// One evaluated expectation, as recorded in the JSON result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpectationOutcome {
+    /// The metric tested.
+    pub metric: String,
+    /// Comparator symbol (`>=`, `<=`, `≈`).
+    pub comparator: String,
+    /// The paper target.
+    pub target: f64,
+    /// The tolerance band.
+    pub tol: f64,
+    /// The measured value (`None` when the experiment produced no such
+    /// scalar — itself a failure).
+    pub measured: Option<f64>,
+    /// Evaluated status after any downgrades.
+    pub status: Status,
+    /// Paper reference.
+    pub paper_ref: String,
+    /// Set when the raw status was downgraded, explaining why.
+    pub downgraded: Option<String>,
+}
+
+/// Evaluate one expectation against a scalar map. `full` is the run's
+/// fidelity; `warn_only` turns every failure into a warning (the CI mode).
+pub fn evaluate(
+    exp: &Expectation,
+    scalars: &BTreeMap<String, f64>,
+    full: bool,
+    warn_only: bool,
+) -> ExpectationOutcome {
+    let measured = scalars.get(exp.metric).copied();
+    let raw = match measured {
+        None => Status::Fail,
+        Some(m) => {
+            let (holds, within_tol) = match exp.comparator {
+                Comparator::Ge => (m >= exp.target, m >= exp.target - exp.tol),
+                Comparator::Le => (m <= exp.target, m <= exp.target + exp.tol),
+                Comparator::Within => {
+                    let d = (m - exp.target).abs();
+                    (d <= exp.tol, d <= 2.0 * exp.tol)
+                }
+            };
+            if holds {
+                Status::Pass
+            } else if within_tol {
+                Status::Warn
+            } else {
+                Status::Fail
+            }
+        }
+    };
+    let mut downgraded = None;
+    let status = if raw == Status::Fail && warn_only {
+        downgraded = Some("warn-only mode".to_string());
+        Status::Warn
+    } else if raw == Status::Fail && !full && !exp.quick_strict {
+        downgraded = Some("quick fidelity (band needs the paper's horizon)".to_string());
+        Status::Warn
+    } else {
+        raw
+    };
+    ExpectationOutcome {
+        metric: exp.metric.to_string(),
+        comparator: exp.comparator.symbol().to_string(),
+        target: exp.target,
+        tol: exp.tol,
+        measured,
+        status,
+        paper_ref: exp.paper_ref.to_string(),
+        downgraded,
+    }
+}
+
+/// Evaluate a whole expectation table.
+pub fn evaluate_all(
+    exps: &[Expectation],
+    scalars: &BTreeMap<String, f64>,
+    full: bool,
+    warn_only: bool,
+) -> Vec<ExpectationOutcome> {
+    exps.iter().map(|e| evaluate(e, scalars, full, warn_only)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalars(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn exp(comparator: Comparator, target: f64, tol: f64, quick_strict: bool) -> Expectation {
+        Expectation { metric: "m", comparator, target, tol, paper_ref: "§test", quick_strict }
+    }
+
+    #[test]
+    fn ge_pass_warn_fail() {
+        let s = |v| scalars(&[("m", v)]);
+        let e = exp(Comparator::Ge, 50.0, 10.0, true);
+        assert_eq!(evaluate(&e, &s(55.0), true, false).status, Status::Pass);
+        assert_eq!(evaluate(&e, &s(45.0), true, false).status, Status::Warn);
+        assert_eq!(evaluate(&e, &s(30.0), true, false).status, Status::Fail);
+    }
+
+    #[test]
+    fn le_and_within() {
+        let s = |v| scalars(&[("m", v)]);
+        let le = exp(Comparator::Le, 10.0, 2.0, true);
+        assert_eq!(evaluate(&le, &s(9.0), true, false).status, Status::Pass);
+        assert_eq!(evaluate(&le, &s(11.0), true, false).status, Status::Warn);
+        assert_eq!(evaluate(&le, &s(13.0), true, false).status, Status::Fail);
+        let w = exp(Comparator::Within, 24.17, 3.0, true);
+        assert_eq!(evaluate(&w, &s(25.0), true, false).status, Status::Pass);
+        assert_eq!(evaluate(&w, &s(29.0), true, false).status, Status::Warn);
+        assert_eq!(evaluate(&w, &s(31.0), true, false).status, Status::Fail);
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let e = exp(Comparator::Ge, 1.0, 0.0, true);
+        let out = evaluate(&e, &scalars(&[]), true, false);
+        assert_eq!(out.status, Status::Fail);
+        assert_eq!(out.measured, None);
+    }
+
+    #[test]
+    fn downgrades() {
+        let s = scalars(&[("m", 0.0)]);
+        // Non-strict expectation fails hard at full but only warns quick.
+        let e = exp(Comparator::Ge, 50.0, 1.0, false);
+        assert_eq!(evaluate(&e, &s, true, false).status, Status::Fail);
+        let quick = evaluate(&e, &s, false, false);
+        assert_eq!(quick.status, Status::Warn);
+        assert!(quick.downgraded.is_some());
+        // Warn-only mode downgrades even strict full-fidelity failures.
+        let strict = exp(Comparator::Ge, 50.0, 1.0, true);
+        assert_eq!(evaluate(&strict, &s, true, true).status, Status::Warn);
+        // But passes stay passes.
+        let ok = scalars(&[("m", 60.0)]);
+        assert_eq!(evaluate(&strict, &ok, false, true).status, Status::Pass);
+    }
+}

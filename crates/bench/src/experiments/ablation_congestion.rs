@@ -1,0 +1,175 @@
+//! Ablation: orbital congestion — shared vs independent constellations.
+//!
+//! The paper's §1: "an increase in the deployment of large constellations
+//! will lead to increased orbital congestion, with higher risks of
+//! collisions". The key physics: within one *coordinated* constellation
+//! the closest approach between any two satellites is a design constant,
+//! maintained by common station-keeping. Between *independent* co-altitude
+//! constellations the relative RAAN/phase is uncontrolled — launch
+//! dispersion and differential J2 drift walk it through arbitrary
+//! configurations, so the closest cross-operator approach is a lottery
+//! that must be re-drawn continuously.
+//!
+//! This study screens the coordinated shell once (its separation never
+//! changes) and screens the independent overlay across a sweep of relative
+//! drift states, reporting the distribution of the closest cross-operator
+//! approach.
+
+use crate::expectations::{Comparator, Expectation};
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiments::expect;
+use crate::{scenario_epoch, Context, Fidelity};
+use orbital::conjunction::{screen_all_pairs, ScreeningConfig};
+use orbital::constellation::{walker_delta, ShellSpec};
+use orbital::kepler::ClassicalElements;
+
+/// See module docs.
+pub struct AblationCongestion;
+
+fn window_s(fidelity: &Fidelity) -> f64 {
+    if fidelity.full {
+        12.0 * 3600.0
+    } else {
+        6.0 * 3600.0
+    }
+}
+
+fn drift_states(fidelity: &Fidelity) -> usize {
+    if fidelity.full {
+        24
+    } else {
+        10
+    }
+}
+
+impl Experiment for AblationCongestion {
+    fn id(&self) -> &'static str {
+        "ablation_congestion"
+    }
+
+    fn title(&self) -> &'static str {
+        "orbital congestion, shared vs independent constellations"
+    }
+
+    fn params(&self, fidelity: &Fidelity) -> Vec<(String, String)> {
+        vec![
+            ("screening_window_h".into(), format!("{:.0}", window_s(fidelity) / 3600.0)),
+            ("drift_states".into(), drift_states(fidelity).to_string()),
+            ("shared_shell".into(), "12 planes x 10 sats, coordinated".into()),
+            ("independent".into(), "4 operators x 30 sats, same band".into()),
+        ]
+    }
+
+    fn expectations(&self) -> Vec<Expectation> {
+        vec![
+            expect(
+                "shared_min_km",
+                Comparator::Ge,
+                50.0,
+                20.0,
+                "§1 ablation: a coordinated shell's closest approach is a large design constant",
+                true,
+            ),
+            expect(
+                "shared_minus_independent_worst_km",
+                Comparator::Ge,
+                0.0,
+                10.0,
+                "§1: uncoordinated overlays drift through far closer approaches",
+                false,
+            ),
+        ]
+    }
+
+    fn run(&self, _ctx: &Context, fidelity: &Fidelity) -> ExperimentResult {
+        let window = window_s(fidelity);
+        let states = drift_states(fidelity);
+        let epoch = scenario_epoch();
+        let cfg = ScreeningConfig { threshold_km: 400.0, coarse_step_s: 20.0, radial_pad_km: 3.0 };
+
+        // Shared: one coordinated 120-satellite Walker shell. Its internal
+        // separations are locked by design + station-keeping.
+        let shared_spec = ShellSpec {
+            planes: 12,
+            sats_per_plane: 10,
+            phasing: 1,
+            ..ShellSpec::starlink_like()
+        };
+        let shared: Vec<ClassicalElements> =
+            walker_delta(&shared_spec, epoch).iter().map(|s| s.elements).collect();
+        let shared_conj = screen_all_pairs(&shared, epoch, window, &cfg);
+        // No pair inside the screening threshold means the closest approach
+        // is at least threshold_km; censor there so scalars stay finite
+        // (non-finite floats don't survive the JSON result).
+        let shared_min =
+            shared_conj.first().map(|c| c.miss_distance_km).unwrap_or(cfg.threshold_km);
+
+        // Independent: four operators, 30 satellites each, same altitude.
+        // Their *relative* RAAN/phase drifts; sample that drift.
+        let mut closest_per_state = Vec::new();
+        for state in 0..states {
+            let f = state as f64;
+            let mut all: Vec<(usize, ClassicalElements)> = Vec::new();
+            for (op, inc) in [(0usize, 53.05), (1, 52.95), (2, 53.10), (3, 53.00)] {
+                let spec = ShellSpec {
+                    name: format!("OP{op}"),
+                    planes: 3,
+                    sats_per_plane: 10,
+                    phasing: 1 + op as u32,
+                    // Relative drift state: each operator's node/phase
+                    // walks at its own rate; emulate with state-dependent
+                    // offsets.
+                    raan_offset_deg: 11.0 * op as f64 + f * (1.7 + 0.9 * op as f64),
+                    inclination_deg: inc,
+                    altitude_km: 550.0,
+                };
+                all.extend(walker_delta(&spec, epoch).iter().map(|s| (op, s.elements)));
+            }
+            let els: Vec<ClassicalElements> = all.iter().map(|(_, e)| *e).collect();
+            let conj = screen_all_pairs(&els, epoch, window, &cfg);
+            // Closest *cross-operator* approach in this drift state.
+            let min_cross = conj
+                .iter()
+                .filter(|c| all[c.sat_a].0 != all[c.sat_b].0)
+                .map(|c| c.miss_distance_km)
+                .fold(cfg.threshold_km, f64::min);
+            closest_per_state.push(min_cross);
+        }
+        closest_per_state.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let worst = closest_per_state[0];
+        let median = closest_per_state[closest_per_state.len() / 2];
+        let below_25 = closest_per_state.iter().filter(|&&d| d < 25.0).count();
+
+        let rows = vec![
+            vec![
+                "shared (coordinated Walker, 120 sats)".into(),
+                format!("{shared_min:.1} (design constant)"),
+                format!("{shared_min:.1}"),
+                "0".into(),
+            ],
+            vec![
+                "independent (4 ops x 30 sats, same band)".into(),
+                format!("{worst:.1}"),
+                format!("{median:.1}"),
+                format!("{below_25}/{states}"),
+            ],
+        ];
+        ExperimentResult::data()
+            .scalar("shared_min_km", shared_min)
+            .scalar("independent_worst_km", worst)
+            .scalar("independent_median_km", median)
+            .scalar("states_below_25km", below_25 as f64)
+            .scalar("shared_minus_independent_worst_km", shared_min - worst)
+            .series("closest_cross_operator_km", closest_per_state)
+            .table(
+                "congestion",
+                &["scenario", "worst closest approach (km)", "median (km)", "states with <25 km pass"],
+                rows,
+            )
+            .note("takeaway: the coordinated shell's closest approach is fixed by")
+            .note("design; the uncoordinated overlay's drifts through configurations")
+            .note("with passes an order of magnitude closer — each needing screening")
+            .note("and avoidance maneuvers, forever. Sharing one constellation removes")
+            .note("the cross-operator lottery entirely (the paper's sustainability case).")
+    }
+}

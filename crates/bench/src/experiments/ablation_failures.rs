@@ -1,0 +1,130 @@
+//! Ablation: stochastic satellite failures and replenishment.
+//!
+//! Withdrawals (Figs. 5/6) are adversarial; failures are the everyday case
+//! the paper also demands robustness against ("How do we deal with
+//! satellite failures?", §1). This study runs an exponential-lifetime
+//! failure process over the constellation and compares coverage with and
+//! without a replenishment launch cadence.
+
+use crate::expectations::{Comparator, Expectation};
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiments::expect;
+use crate::{seeds, Context, Fidelity};
+use leosim::montecarlo::{run_rng, sample_indices};
+use mpleo::failures::{simulate_failures, FailureModel};
+
+/// See module docs.
+pub struct AblationFailures;
+
+fn sample_size(fidelity: &Fidelity) -> usize {
+    if fidelity.full {
+        500
+    } else {
+        200
+    }
+}
+
+impl Experiment for AblationFailures {
+    fn id(&self) -> &'static str {
+        "ablation_failures"
+    }
+
+    fn title(&self) -> &'static str {
+        "failure process + replenishment (Taipei coverage)"
+    }
+
+    fn seeds(&self) -> Vec<u64> {
+        vec![seeds::ABLATION_FAILURES, seeds::ABLATION_FAILURES_PROCESS]
+    }
+
+    fn params(&self, fidelity: &Fidelity) -> Vec<(String, String)> {
+        vec![
+            ("sample".into(), sample_size(fidelity).to_string()),
+            ("mtbf_days".into(), "20 (accelerated)".into()),
+            ("replenishment".into(), "daily batch of 5".into()),
+        ]
+    }
+
+    fn expectations(&self) -> Vec<Expectation> {
+        vec![
+            expect(
+                "nofail_minus_fail_pct",
+                Comparator::Ge,
+                0.0,
+                1.0,
+                "§1 ablation: failures degrade coverage (smoothly, no cliff)",
+                true,
+            ),
+            expect(
+                "replenish_minus_fail_pct",
+                Comparator::Ge,
+                0.0,
+                2.0,
+                "§1 ablation: a modest replenishment cadence holds the steady state",
+                false,
+            ),
+        ]
+    }
+
+    fn run(&self, ctx: &Context, fidelity: &Fidelity) -> ExperimentResult {
+        let taipei = [geodata::taipei()];
+        let n = sample_size(fidelity);
+        let mut rng = run_rng(seeds::ABLATION_FAILURES, 0);
+        let idx = sample_indices(&mut rng, ctx.pool.len(), n);
+        let vt = ctx.subset_table(&idx, &taipei);
+        let all: Vec<usize> = (0..n).collect();
+        let window = (3600.0 / ctx.grid.step_s).max(1.0) as usize;
+
+        // Accelerated failure model so the effect is visible within the
+        // horizon: MTBF of 20 days (real satellites: years — scale, not
+        // shape).
+        let mtbf = 20.0 * 86_400.0;
+        let scenarios = [
+            (
+                "no failures",
+                "mean_cov_pct_nofail",
+                FailureModel { mtbf_s: f64::INFINITY, launch_interval_s: 0.0, batch_size: 0 },
+            ),
+            (
+                "failures, no replenishment",
+                "mean_cov_pct_fail",
+                FailureModel { mtbf_s: mtbf, launch_interval_s: 0.0, batch_size: 0 },
+            ),
+            (
+                "failures + daily batch of 5",
+                "mean_cov_pct_replenished",
+                FailureModel { mtbf_s: mtbf, launch_interval_s: 86_400.0, batch_size: 5 },
+            ),
+        ];
+        let mut rows = Vec::new();
+        let mut result = ExperimentResult::data();
+        let mut means = Vec::new();
+        for (label, key, model) in scenarios {
+            let run = simulate_failures(&vt, &all, 0, &model, window, seeds::ABLATION_FAILURES_PROCESS);
+            let mean_pct = run.mean_coverage() * 100.0;
+            means.push(mean_pct);
+            result = result.scalar(key, mean_pct);
+            rows.push(vec![
+                label.to_string(),
+                format!("{}", run.failures),
+                format!("{}", run.replacements),
+                format!("{}", run.min_alive()),
+                format!("{mean_pct:.2}"),
+                format!("{:.2}", run.coverage.last().unwrap_or(&0.0) * 100.0),
+            ]);
+        }
+        result
+            .scalar("nofail_minus_fail_pct", means[0] - means[1])
+            .scalar("replenish_minus_fail_pct", means[2] - means[1])
+            .table(
+                "failure_scenarios",
+                &["scenario", "failures", "replacements", "min alive", "mean coverage %", "final coverage %"],
+                rows,
+            )
+            .note("takeaway: random failures degrade coverage smoothly — the same")
+            .note("graceful, stake-proportional behaviour as Fig. 5's withdrawals,")
+            .note("because interspersed ownership leaves no structural hole for a")
+            .note("random loss to widen. A modest replenishment cadence holds the")
+            .note("steady state; no coordination with other parties is needed.")
+    }
+}

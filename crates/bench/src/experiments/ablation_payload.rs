@@ -1,0 +1,144 @@
+//! Ablation: transparent repeater vs regenerative payload.
+//!
+//! The paper chooses a transparent bent pipe (§3.1) and flags the cost in
+//! §4: packet-level (regenerative) designs "avoid any amplification of
+//! noise from ground transmissions". This study runs the link budget for
+//! both architectures across the elevation range a pass sweeps, showing
+//! the throughput the transparency simplification gives up.
+
+use crate::expectations::{Comparator, Expectation};
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiments::expect;
+use crate::{Context, Fidelity};
+use leosim::linkbudget::{
+    end_to_end_capacity_bps, end_to_end_cn, slant_range_km, PayloadArchitecture, RfLeg,
+};
+
+/// See module docs.
+pub struct AblationPayload;
+
+impl Experiment for AblationPayload {
+    fn id(&self) -> &'static str {
+        "ablation_payload"
+    }
+
+    fn title(&self) -> &'static str {
+        "transparent vs regenerative payload (Ku band, 550 km)"
+    }
+
+    fn params(&self, _fidelity: &Fidelity) -> Vec<(String, String)> {
+        vec![
+            ("band".into(), "Ku".into()),
+            ("altitude_km".into(), "550".into()),
+            ("elevations_deg".into(), "[10, 25, 40, 60, 90]".into()),
+        ]
+    }
+
+    fn expectations(&self) -> Vec<Expectation> {
+        vec![
+            expect(
+                "gateway_loss_pct_max",
+                Comparator::Le,
+                1.0,
+                1.0,
+                "§4: on gateway links the downlink budget dominates — transparency is ~free",
+                true,
+            ),
+            expect(
+                "balanced_loss_pct_el40",
+                Comparator::Ge,
+                5.0,
+                4.0,
+                "§4: balanced terminal-to-terminal legs pay the full ~3 dB noise stack",
+                true,
+            ),
+        ]
+    }
+
+    fn run(&self, _ctx: &Context, _fidelity: &Fidelity) -> ExperimentResult {
+        let up = RfLeg::ku_user_uplink();
+        let down = RfLeg::ku_gateway_downlink();
+
+        let mut rows = Vec::new();
+        let mut gateway_loss_max = 0.0f64;
+        for el_deg in [10.0f64, 25.0, 40.0, 60.0, 90.0] {
+            let r = slant_range_km(550.0, el_deg.to_radians());
+            let cn_t = end_to_end_cn(PayloadArchitecture::Transparent, &up, r, &down, r);
+            let cn_r = end_to_end_cn(PayloadArchitecture::Regenerative, &up, r, &down, r);
+            let cap_t = end_to_end_capacity_bps(PayloadArchitecture::Transparent, &up, r, &down, r);
+            let cap_r = end_to_end_capacity_bps(PayloadArchitecture::Regenerative, &up, r, &down, r);
+            let loss_pct = 100.0 * (cap_r - cap_t) / cap_r;
+            gateway_loss_max = gateway_loss_max.max(loss_pct);
+            rows.push(vec![
+                format!("{el_deg:.0}"),
+                format!("{r:.0}"),
+                format!("{:.1}", 10.0 * cn_t.log10()),
+                format!("{:.1}", 10.0 * cn_r.log10()),
+                format!("{:.0}", cap_t / 1e6),
+                format!("{:.0}", cap_r / 1e6),
+                format!("{loss_pct:.1}"),
+            ]);
+        }
+
+        // Second scenario: terminal-to-terminal relay (no gateway). Both
+        // legs end at small user antennas, so the budgets are balanced and
+        // the transparent noise-stacking shows its full 3 dB.
+        let down_user = RfLeg { g_over_t_db_k: 8.0, ..down };
+        let mut rows2 = Vec::new();
+        let mut balanced_loss_el40 = f64::NAN;
+        for el_deg in [10.0f64, 40.0, 90.0] {
+            let r = slant_range_km(550.0, el_deg.to_radians());
+            let cn_t = end_to_end_cn(PayloadArchitecture::Transparent, &up, r, &down_user, r);
+            let cn_r = end_to_end_cn(PayloadArchitecture::Regenerative, &up, r, &down_user, r);
+            let cap_t =
+                end_to_end_capacity_bps(PayloadArchitecture::Transparent, &up, r, &down_user, r);
+            let cap_r =
+                end_to_end_capacity_bps(PayloadArchitecture::Regenerative, &up, r, &down_user, r);
+            let loss_pct = 100.0 * (cap_r - cap_t) / cap_r;
+            if (el_deg - 40.0).abs() < 1e-9 {
+                balanced_loss_el40 = loss_pct;
+            }
+            rows2.push(vec![
+                format!("{el_deg:.0}"),
+                format!("{:.1}", 10.0 * cn_t.log10()),
+                format!("{:.1}", 10.0 * cn_r.log10()),
+                format!("{:.0}", cap_t / 1e6),
+                format!("{:.0}", cap_r / 1e6),
+                format!("{loss_pct:.1}"),
+            ]);
+        }
+        ExperimentResult::data()
+            .scalar("gateway_loss_pct_max", gateway_loss_max)
+            .scalar("balanced_loss_pct_el40", balanced_loss_el40)
+            .table(
+                "gateway_links",
+                &[
+                    "elevation (deg)",
+                    "slant range (km)",
+                    "C/N transp (dB)",
+                    "C/N regen (dB)",
+                    "rate transp (Mbps)",
+                    "rate regen (Mbps)",
+                    "throughput given up %",
+                ],
+                rows,
+            )
+            .table(
+                "terminal_to_terminal",
+                &[
+                    "elevation (deg)",
+                    "C/N transp (dB)",
+                    "C/N regen (dB)",
+                    "rate transp (Mbps)",
+                    "rate regen (Mbps)",
+                    "throughput given up %",
+                ],
+                rows2,
+            )
+            .note("takeaway: transparency costs ~3 dB of C/N when the legs are")
+            .note("balanced, a modest single-digit-percent throughput loss at these")
+            .note("budgets — cheap relative to what it buys the paper's design:")
+            .note("protocol freedom, end-to-end encryption, and dumb, long-lived")
+            .note("satellites that any party can use without interoperability work.")
+    }
+}

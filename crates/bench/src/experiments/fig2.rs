@@ -1,0 +1,136 @@
+//! Figure 2: percentage of time *without* coverage vs constellation size,
+//! for a receiver in Taipei.
+//!
+//! Paper protocol: coverage gap over one week, averaged over 100 runs; each
+//! run randomly samples N satellites from the Starlink network. Headline
+//! numbers: >50% uncovered at 100 satellites (with gaps over an hour);
+//! >=99.5% coverage needs ~1000 satellites.
+
+use crate::expectations::{Comparator, Expectation};
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiments::expect;
+use crate::{fmt_dur, seeds, Context, Fidelity};
+use leosim::coverage::{Aggregate, CoverageStats};
+use leosim::montecarlo::{run_rng, sample_indices};
+
+/// The constellation sizes swept.
+pub const SIZES: [usize; 7] = [10, 50, 100, 200, 500, 1000, 2000];
+
+/// See module docs.
+pub struct Fig2;
+
+impl Experiment for Fig2 {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn title(&self) -> &'static str {
+        "time without coverage vs number of satellites (Taipei)"
+    }
+
+    fn seeds(&self) -> Vec<u64> {
+        vec![seeds::FIG2]
+    }
+
+    fn params(&self, fidelity: &Fidelity) -> Vec<(String, String)> {
+        vec![
+            ("receiver".into(), "Taipei".into()),
+            ("sizes".into(), format!("{SIZES:?}")),
+            ("runs".into(), fidelity.runs.to_string()),
+        ]
+    }
+
+    fn expectations(&self) -> Vec<Expectation> {
+        vec![
+            expect(
+                "uncovered_pct_100",
+                Comparator::Ge,
+                50.0,
+                15.0,
+                "§2 Fig 2: >50% of time uncovered at 100 satellites",
+                true,
+            ),
+            expect(
+                "max_gap_s_100",
+                Comparator::Ge,
+                3600.0,
+                1800.0,
+                "§2 Fig 2: continuous gaps of over an hour at 100 satellites",
+                false,
+            ),
+            expect(
+                "coverage_pct_1000",
+                Comparator::Ge,
+                99.5,
+                1.0,
+                "§2 Fig 2: ≥99.5% coverage around 1000 satellites",
+                false,
+            ),
+            expect(
+                "uncovered_monotone",
+                Comparator::Ge,
+                1.0,
+                0.0,
+                "§2 Fig 2: monotone improvement with constellation size",
+                true,
+            ),
+        ]
+    }
+
+    fn run(&self, ctx: &Context, fidelity: &Fidelity) -> ExperimentResult {
+        let taipei = [geodata::taipei()];
+        let vt = ctx.table_for(&taipei);
+        let n = vt.sat_count();
+        let mut rows = Vec::new();
+        let mut uncovered_series = Vec::new();
+        let mut gap_series = Vec::new();
+        let mut result = ExperimentResult::data();
+        for &size in &SIZES {
+            let mut uncovered = Vec::with_capacity(fidelity.runs);
+            let mut max_gaps = Vec::with_capacity(fidelity.runs);
+            for run in 0..fidelity.runs {
+                let mut rng = run_rng(seeds::FIG2, run as u64);
+                let subset = sample_indices(&mut rng, n, size);
+                let cov = vt.coverage_union(&subset, 0);
+                let stats = CoverageStats::from_bitset(&cov, &vt.grid);
+                uncovered.push(stats.uncovered_fraction * 100.0);
+                max_gaps.push(stats.max_gap_s);
+            }
+            let unc = Aggregate::from_samples(&uncovered);
+            let gap = Aggregate::from_samples(&max_gaps);
+            uncovered_series.push(unc.mean);
+            gap_series.push(gap.mean);
+            if size == 100 {
+                result = result
+                    .scalar("uncovered_pct_100", unc.mean)
+                    .scalar("max_gap_s_100", gap.mean);
+            }
+            if size == 1000 {
+                result = result.scalar("coverage_pct_1000", 100.0 - unc.mean);
+            }
+            if size == 2000 {
+                result = result.scalar("coverage_pct_2000", 100.0 - unc.mean);
+            }
+            rows.push(vec![
+                size.to_string(),
+                format!("{:.2}", unc.mean),
+                format!("{:.2}", unc.std_dev),
+                fmt_dur(gap.mean),
+                format!("{:.3}", 100.0 - unc.mean),
+            ]);
+        }
+        let monotone = uncovered_series.windows(2).all(|w| w[1] <= w[0]);
+        result
+            .scalar("uncovered_monotone", if monotone { 1.0 } else { 0.0 })
+            .series("sizes", SIZES.iter().map(|&s| s as f64).collect())
+            .series("uncovered_pct", uncovered_series)
+            .series("mean_max_gap_s", gap_series)
+            .table(
+                "coverage_vs_size",
+                &["satellites", "no-coverage %", "std", "mean max gap", "coverage %"],
+                rows,
+            )
+            .note("paper shape: >50% uncovered @100 sats (gaps over an hour);")
+            .note("             >=99.5% coverage reached around 1000 sats.")
+    }
+}

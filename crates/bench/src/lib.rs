@@ -14,6 +14,14 @@
 //! Every binary prints which fidelity it ran and the exact parameters, so
 //! EXPERIMENTS.md can record paper-vs-measured unambiguously.
 
+pub mod expectations;
+pub mod experiment;
+pub mod experiments;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod seeds;
+
 use geodata::{paper_cities, population_weights, City};
 use leosim::ephemeris::EphemerisStore;
 use leosim::visibility::{SimConfig, VisibilityTable};
@@ -21,11 +29,13 @@ use leosim::TimeGrid;
 use orbital::constellation::{starlink_gen1_pool, Satellite};
 use orbital::ground::GroundSite;
 use orbital::time::Epoch;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Experiment fidelity settings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fidelity {
     /// Simulated horizon, seconds.
     pub horizon_s: f64,
@@ -37,15 +47,94 @@ pub struct Fidelity {
     pub full: bool,
 }
 
+/// An invalid fidelity environment variable. The offending variable and
+/// value are spelled out so a typo'd override fails loudly instead of
+/// silently running the default settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FidelityError {
+    /// The environment variable at fault.
+    pub var: &'static str,
+    /// The rejected value.
+    pub value: String,
+    /// What was expected instead.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for FidelityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={:?} is invalid: expected {}", self.var, self.value, self.expected)
+    }
+}
+
+impl std::error::Error for FidelityError {}
+
 impl Fidelity {
-    /// Resolve fidelity from the `MPLEO_FULL` environment variable.
-    pub fn from_env() -> Fidelity {
-        let full = std::env::var("MPLEO_FULL").map(|v| v == "1").unwrap_or(false);
-        if full {
-            Fidelity { horizon_s: 7.0 * 86_400.0, step_s: 60.0, runs: 100, full: true }
-        } else {
-            Fidelity { horizon_s: 2.0 * 86_400.0, step_s: 120.0, runs: 15, full: false }
+    /// The default quick settings: every experiment regenerates in seconds.
+    pub fn quick() -> Fidelity {
+        Fidelity { horizon_s: 2.0 * 86_400.0, step_s: 120.0, runs: 15, full: false }
+    }
+
+    /// The paper's settings: one week, 60 s step, 100 Monte-Carlo runs.
+    pub fn paper() -> Fidelity {
+        Fidelity { horizon_s: 7.0 * 86_400.0, step_s: 60.0, runs: 100, full: true }
+    }
+
+    /// Resolve fidelity from the process environment (`MPLEO_FULL`, plus
+    /// validated `MPLEO_RUNS` / `MPLEO_HORIZON_S` / `MPLEO_STEP_S`
+    /// overrides).
+    pub fn from_env() -> Result<Fidelity, FidelityError> {
+        Self::from_env_map(&std::env::vars().collect())
+    }
+
+    /// [`Fidelity::from_env`] over an explicit map, so tests can inject an
+    /// environment instead of mutating (and racing on) the process one.
+    pub fn from_env_map(env: &BTreeMap<String, String>) -> Result<Fidelity, FidelityError> {
+        let full = match env.get("MPLEO_FULL").map(String::as_str) {
+            None | Some("") | Some("0") => false,
+            Some("1") => true,
+            Some(other) => {
+                return Err(FidelityError {
+                    var: "MPLEO_FULL",
+                    value: other.to_string(),
+                    expected: "0 or 1",
+                })
+            }
+        };
+        let mut fidelity = if full { Self::paper() } else { Self::quick() };
+        if let Some(v) = env.get("MPLEO_RUNS").filter(|v| !v.is_empty()) {
+            fidelity.runs = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or(FidelityError {
+                var: "MPLEO_RUNS",
+                value: v.clone(),
+                expected: "a positive integer",
+            })?;
         }
+        if let Some(v) = env.get("MPLEO_HORIZON_S").filter(|v| !v.is_empty()) {
+            fidelity.horizon_s =
+                v.parse::<f64>().ok().filter(|h| h.is_finite() && *h > 0.0).ok_or(
+                    FidelityError {
+                        var: "MPLEO_HORIZON_S",
+                        value: v.clone(),
+                        expected: "a positive number of seconds",
+                    },
+                )?;
+        }
+        if let Some(v) = env.get("MPLEO_STEP_S").filter(|v| !v.is_empty()) {
+            fidelity.step_s = v.parse::<f64>().ok().filter(|s| s.is_finite() && *s > 0.0).ok_or(
+                FidelityError {
+                    var: "MPLEO_STEP_S",
+                    value: v.clone(),
+                    expected: "a positive number of seconds",
+                },
+            )?;
+        }
+        if fidelity.step_s > fidelity.horizon_s {
+            return Err(FidelityError {
+                var: "MPLEO_STEP_S",
+                value: format!("{}", fidelity.step_s),
+                expected: "a step no larger than the horizon",
+            });
+        }
+        Ok(fidelity)
     }
 
     /// Print the standard experiment banner.
@@ -115,6 +204,7 @@ impl Context {
     /// (pool hash, grid, propagator).
     pub fn pool_ephemeris(&self) -> &EphemerisStore {
         self.ephemeris.get_or_init(|| {
+            EPHEMERIS_BUILDS.fetch_add(1, Ordering::SeqCst);
             let cache = ephemeris_cache_from_env();
             EphemerisStore::load_or_build(&self.pool, &self.grid, &self.config, cache.as_deref())
         })
@@ -180,26 +270,52 @@ pub fn ephemeris_cache_from_env() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
-/// Render a simple aligned table to stdout.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Count of pool-wide ephemeris builds performed by [`Context`]s in this
+/// process; the suite runner's one-build-per-process guarantee is asserted
+/// against it.
+static EPHEMERIS_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times any [`Context`] in this process has built (or loaded)
+/// the pool-wide ephemeris.
+pub fn ephemeris_build_count() -> usize {
+    EPHEMERIS_BUILDS.load(Ordering::SeqCst)
+}
+
+/// Render a simple aligned table as a string. Ragged rows are tolerated:
+/// rows longer than the header grow extra columns, shorter rows pad with
+/// empty cells.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(0);
+            }
             widths[i] = widths[i].max(cell.len());
         }
     }
-    let line = |cells: Vec<String>| {
+    let mut out = String::new();
+    let mut line = |cells: &[String]| {
         let mut s = String::new();
-        for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let c = cells.get(i).unwrap_or(&empty);
+            s.push_str(&format!("{:>width$}  ", c, width = w));
         }
-        println!("{}", s.trim_end());
+        out.push_str(s.trim_end());
+        out.push('\n');
     };
-    line(headers.iter().map(|h| h.to_string()).collect());
-    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
-        line(row.clone());
+        line(row);
     }
+    out
+}
+
+/// Render a simple aligned table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(headers, rows));
 }
 
 /// Format seconds as `Xh Ym` style via the orbital helper.
@@ -211,12 +327,60 @@ pub fn fmt_dur(seconds: f64) -> String {
 mod tests {
     use super::*;
 
+    fn env(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
     #[test]
     fn fidelity_defaults_quick() {
-        std::env::remove_var("MPLEO_FULL");
-        let f = Fidelity::from_env();
+        // Injected env map — no process-env mutation, so this cannot race
+        // with other tests under the parallel harness.
+        let f = Fidelity::from_env_map(&env(&[])).unwrap();
         assert!(!f.full);
         assert!(f.runs < 100);
+        assert_eq!(f, Fidelity::quick());
+    }
+
+    #[test]
+    fn fidelity_full_and_overrides() {
+        let f = Fidelity::from_env_map(&env(&[("MPLEO_FULL", "1")])).unwrap();
+        assert_eq!(f, Fidelity::paper());
+        let f = Fidelity::from_env_map(&env(&[
+            ("MPLEO_RUNS", "3"),
+            ("MPLEO_HORIZON_S", "7200"),
+            ("MPLEO_STEP_S", "600"),
+        ]))
+        .unwrap();
+        assert!(!f.full);
+        assert_eq!(f.runs, 3);
+        assert_eq!(f.horizon_s, 7200.0);
+        assert_eq!(f.step_s, 600.0);
+    }
+
+    #[test]
+    fn fidelity_rejects_garbage_loudly() {
+        for (var, value) in [
+            ("MPLEO_FULL", "yes"),
+            ("MPLEO_RUNS", "ten"),
+            ("MPLEO_RUNS", "0"),
+            ("MPLEO_RUNS", "-2"),
+            ("MPLEO_HORIZON_S", "1week"),
+            ("MPLEO_HORIZON_S", "-5"),
+            ("MPLEO_STEP_S", "NaN"),
+            ("MPLEO_STEP_S", "0"),
+        ] {
+            let err = Fidelity::from_env_map(&env(&[(var, value)])).unwrap_err();
+            assert_eq!(err.var, var, "{var}={value}");
+            assert_eq!(err.value, value);
+            assert!(err.to_string().contains(var));
+        }
+        // A step larger than the horizon is rejected even if both parse.
+        let err = Fidelity::from_env_map(&env(&[
+            ("MPLEO_HORIZON_S", "100"),
+            ("MPLEO_STEP_S", "200"),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.var, "MPLEO_STEP_S");
     }
 
     #[test]
@@ -252,5 +416,41 @@ mod tests {
             &["a", "long-header"],
             &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
+    }
+
+    #[test]
+    fn render_table_empty_rows() {
+        let s = render_table(&["a", "b"], &[]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2, "header + rule only: {s:?}");
+        assert!(lines[0].contains('a') && lines[0].contains('b'));
+        assert!(lines[1].chars().all(|c| c == '-' || c == ' '));
+    }
+
+    #[test]
+    fn render_table_ragged_rows() {
+        // A row longer than the header grows a column; a shorter row pads.
+        let s = render_table(
+            &["x"],
+            &[
+                vec!["1".into(), "extra".into(), "more".into()],
+                vec![],
+                vec!["22".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[2].contains("extra") && lines[2].contains("more"));
+        assert!(lines[4].contains("22"));
+    }
+
+    #[test]
+    fn fmt_dur_edges() {
+        assert_eq!(fmt_dur(0.0), "0.0s");
+        assert_eq!(fmt_dur(59.4), "59.4s");
+        // Exactly one day and beyond 24 h both carry the day component.
+        assert_eq!(fmt_dur(86_400.0), "1d 00h 00m");
+        assert_eq!(fmt_dur(30.0 * 3600.0 + 90.0), "1d 06h 01m");
+        assert_eq!(fmt_dur(10.0 * 86_400.0), "10d 00h 00m");
     }
 }

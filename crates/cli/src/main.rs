@@ -9,6 +9,7 @@
 //! * `sla`      — quote the sellable service tier for a point
 //! * `cities`   — print the embedded 21-city dataset
 //! * `node`     — run a live coordination-protocol node over TCP
+//! * `experiments` — run the paper's figure/ablation suite in one process
 //!
 //! Run `mpleo help` (or any subcommand with `--help`-style curiosity) for
 //! usage; every command works offline and completes in seconds.
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         Some("audit") => commands::audit(&parsed),
         Some("manifest") => commands::manifest(&parsed),
         Some("node") => commands::node(&parsed),
+        Some("experiments") => commands::experiments(&parsed),
         Some(other) => {
             eprintln!("error: unknown command '{other}'");
             print_help();
@@ -99,6 +101,13 @@ COMMANDS:
                 --anti-entropy-ms MS (1000) --status-secs S (5)
                 --retry-initial-ms MS (100) --retry-max-ms MS (5000)
                 --retry-attempts N (0 = unlimited)
+    experiments  run the paper's figure/ablation suite in one process
+                --list (print the registry) --only id,id --skip id,id
+                --out DIR (results/, JSON per experiment) --strict
+                --warn-only --sequential --quiet
+                --report (regenerate EXPERIMENTS.md) --report-only
+                fidelity via MPLEO_FULL / MPLEO_RUNS / MPLEO_HORIZON_S /
+                MPLEO_STEP_S
     help      this message
 
 All commands run fully offline on a synthetic Starlink-like pool."
