@@ -1,0 +1,41 @@
+//! Monte-Carlo harness scaling: `run_experiment` throughput at 1/2/4/8
+//! worker threads on the shared simrt pool. The interesting shape is the
+//! speedup curve — the runs are embarrassingly parallel, so wall time
+//! should fall close to linearly until the machine's core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leosim::montecarlo::run_experiment;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A CPU-bound stand-in for one experiment run: enough floating-point work
+/// (~20k draws + sqrt) to dominate scheduling overhead.
+fn mc_body(rng: &mut StdRng, _run: usize) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..20_000 {
+        acc += rng.gen::<f64>().sqrt();
+    }
+    acc
+}
+
+fn bench_run_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo_run_experiment");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                // The thread cap bounds this scope (and, at cap 1, every
+                // nested scope) without rebuilding the global pool.
+                let agg = simrt::with_thread_cap(t, || run_experiment(7, 64, mc_body));
+                std::hint::black_box(agg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_run_experiment
+}
+criterion_main!(benches);

@@ -79,7 +79,10 @@ impl From<&Fidelity> for FidelityRecord {
     }
 }
 
-/// Per-experiment timing, filled by the runner.
+/// Per-experiment timing, filled by the runner. All fields are measured,
+/// never part of the deterministic payload — result-comparison tooling
+/// (e.g. the CI thread-count determinism gate) strips the whole `timing`
+/// object before diffing.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Timing {
     /// Wall-clock seconds.
@@ -87,6 +90,15 @@ pub struct Timing {
     /// CPU seconds of the driving thread (best effort; `None` where the
     /// platform offers no per-thread accounting).
     pub cpu_s: Option<f64>,
+    /// Summed busy seconds across every `simrt` scope claimant this
+    /// experiment started (`busy_s / wall_s` approximates its effective
+    /// parallelism). `None` when the experiment ran no parallel scopes.
+    #[serde(default)]
+    pub busy_s: Option<f64>,
+    /// Seconds this experiment's helper jobs waited in the `simrt` pool
+    /// queue before a worker picked them up — the contention signal.
+    #[serde(default)]
+    pub queue_wait_s: Option<f64>,
 }
 
 /// The structured record of one experiment run; serialized to

@@ -10,7 +10,7 @@ use crate::experiment::{Experiment, ExperimentResult};
 use crate::experiments::expect;
 use crate::{seeds, Context, Fidelity};
 use leosim::coverage::CoverageStats;
-use leosim::montecarlo::{run_rng, sample_indices};
+use leosim::montecarlo::{run_samples, sample_indices};
 use mpleo::economics::{go_it_alone, mp_leo_share, CostModel};
 
 /// Constellation sizes on the measured cost curve.
@@ -80,13 +80,15 @@ impl Experiment for AblationEconomics {
         let vt = ctx.table_for(&taipei);
         let mut curve = Vec::new();
         for &size in &SIZES {
-            let mut acc = 0.0;
-            for run in 0..fidelity.runs {
-                let mut rng = run_rng(seeds::ABLATION_ECONOMICS, run as u64);
-                let subset = sample_indices(&mut rng, vt.sat_count(), size);
-                acc += CoverageStats::from_bitset(&vt.coverage_union(&subset, 0), &vt.grid)
-                    .covered_fraction;
-            }
+            // Parallel runs on the shared pool; summing the run-ordered
+            // samples keeps the floating-point reduction order (and the
+            // result bits) identical to the old sequential accumulation.
+            let fractions = run_samples(seeds::ABLATION_ECONOMICS, fidelity.runs, |rng, _| {
+                let subset = sample_indices(rng, vt.sat_count(), size);
+                CoverageStats::from_bitset(&vt.coverage_union(&subset, 0), &vt.grid)
+                    .covered_fraction
+            });
+            let acc: f64 = fractions.iter().sum();
             curve.push((size, acc / fidelity.runs as f64));
         }
 

@@ -11,7 +11,7 @@ use crate::experiment::{Experiment, ExperimentResult};
 use crate::experiments::expect;
 use crate::{seeds, Context, Fidelity};
 use leosim::coverage::{Aggregate, CoverageStats};
-use leosim::montecarlo::{run_rng, sample_indices};
+use leosim::montecarlo::{run_samples, sample_indices};
 
 /// Elevation masks swept, degrees.
 pub const MASKS: [f64; 3] = [10.0, 25.0, 40.0];
@@ -65,14 +65,13 @@ impl Experiment for AblationElevation {
             let cfg = ctx.config.clone().with_mask_deg(mask);
             let vt = ctx.table_for_config(&taipei, &cfg);
             for &size in &SIZES {
-                let mut unc = Vec::new();
-                for run in 0..fidelity.runs {
-                    let mut rng = run_rng(seeds::ABLATION_ELEVATION, run as u64);
-                    let subset = sample_indices(&mut rng, vt.sat_count(), size);
+                // Parallel runs on the shared pool, ordered by run index.
+                let unc = run_samples(seeds::ABLATION_ELEVATION, fidelity.runs, |rng, _| {
+                    let subset = sample_indices(rng, vt.sat_count(), size);
                     let stats =
                         CoverageStats::from_bitset(&vt.coverage_union(&subset, 0), &vt.grid);
-                    unc.push(stats.uncovered_fraction * 100.0);
-                }
+                    stats.uncovered_fraction * 100.0
+                });
                 let agg = Aggregate::from_samples(&unc);
                 coverage_series.push(100.0 - agg.mean);
                 if size == 1000 {

@@ -12,7 +12,7 @@ use crate::expectations::{Comparator, Expectation};
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::experiments::expect;
 use crate::{fmt_dur, seeds, Context, Fidelity};
-use leosim::montecarlo::{run_rng, sample_indices};
+use leosim::montecarlo::{run_rng, run_samples, sample_indices};
 use mpleo::party::{skewed_ratios, PartyKind};
 use mpleo::registry::ConstellationRegistry;
 use mpleo::robustness::withdrawal_loss;
@@ -65,10 +65,9 @@ impl Experiment for AblationOwnership {
             ("clustered (contiguous planes)", "clustered_loss_pct", false),
             ("interleaved (random)", "interleaved_loss_pct", true),
         ] {
-            let mut losses = Vec::new();
-            for run in 0..fidelity.runs {
-                let mut rng = run_rng(seeds::ABLATION_OWNERSHIP, run as u64);
-                let base = sample_indices(&mut rng, vt.sat_count(), total);
+            // Parallel runs on the shared pool, collected in run order.
+            let losses = run_samples(seeds::ABLATION_OWNERSHIP, fidelity.runs, |rng, run| {
+                let base = sample_indices(rng, vt.sat_count(), total);
                 let reg = if shuffle {
                     let mut reg_rng = run_rng(seeds::ABLATION_OWNERSHIP_SHUFFLE, run as u64);
                     ConstellationRegistry::from_ratios(
@@ -82,8 +81,8 @@ impl Experiment for AblationOwnership {
                 };
                 let largest = reg.largest_party();
                 let withdrawn: Vec<usize> = largest.satellites.iter().map(|&p| base[p]).collect();
-                losses.push(withdrawal_loss(&vt, &base, &withdrawn, &ctx.weights));
-            }
+                withdrawal_loss(&vt, &base, &withdrawn, &ctx.weights)
+            });
             let mean_pct =
                 losses.iter().map(|l| l.loss_pct_of_horizon).sum::<f64>() / losses.len() as f64;
             means.push(mean_pct);

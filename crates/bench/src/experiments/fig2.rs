@@ -11,7 +11,7 @@ use crate::experiment::{Experiment, ExperimentResult};
 use crate::experiments::expect;
 use crate::{fmt_dur, seeds, Context, Fidelity};
 use leosim::coverage::{Aggregate, CoverageStats};
-use leosim::montecarlo::{run_rng, sample_indices};
+use leosim::montecarlo::{run_samples, sample_indices};
 
 /// The constellation sizes swept.
 pub const SIZES: [usize; 7] = [10, 50, 100, 200, 500, 1000, 2000];
@@ -86,16 +86,16 @@ impl Experiment for Fig2 {
         let mut gap_series = Vec::new();
         let mut result = ExperimentResult::data();
         for &size in &SIZES {
-            let mut uncovered = Vec::with_capacity(fidelity.runs);
-            let mut max_gaps = Vec::with_capacity(fidelity.runs);
-            for run in 0..fidelity.runs {
-                let mut rng = run_rng(seeds::FIG2, run as u64);
-                let subset = sample_indices(&mut rng, n, size);
+            // Parallel runs on the shared pool; per-run streams and ordered
+            // collection keep the aggregates thread-count invariant.
+            let per_run: Vec<(f64, f64)> = run_samples(seeds::FIG2, fidelity.runs, |rng, _| {
+                let subset = sample_indices(rng, n, size);
                 let cov = vt.coverage_union(&subset, 0);
                 let stats = CoverageStats::from_bitset(&cov, &vt.grid);
-                uncovered.push(stats.uncovered_fraction * 100.0);
-                max_gaps.push(stats.max_gap_s);
-            }
+                (stats.uncovered_fraction * 100.0, stats.max_gap_s)
+            });
+            let uncovered: Vec<f64> = per_run.iter().map(|&(u, _)| u).collect();
+            let max_gaps: Vec<f64> = per_run.iter().map(|&(_, g)| g).collect();
             let unc = Aggregate::from_samples(&uncovered);
             let gap = Aggregate::from_samples(&max_gaps);
             uncovered_series.push(unc.mean);

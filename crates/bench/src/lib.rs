@@ -45,6 +45,8 @@ pub struct Fidelity {
     pub runs: usize,
     /// True when running the paper's full settings.
     pub full: bool,
+    /// Worker threads for the shared `simrt` pool (0 = auto-detect).
+    pub threads: usize,
 }
 
 /// An invalid fidelity environment variable. The offending variable and
@@ -71,17 +73,17 @@ impl std::error::Error for FidelityError {}
 impl Fidelity {
     /// The default quick settings: every experiment regenerates in seconds.
     pub fn quick() -> Fidelity {
-        Fidelity { horizon_s: 2.0 * 86_400.0, step_s: 120.0, runs: 15, full: false }
+        Fidelity { horizon_s: 2.0 * 86_400.0, step_s: 120.0, runs: 15, full: false, threads: 0 }
     }
 
     /// The paper's settings: one week, 60 s step, 100 Monte-Carlo runs.
     pub fn paper() -> Fidelity {
-        Fidelity { horizon_s: 7.0 * 86_400.0, step_s: 60.0, runs: 100, full: true }
+        Fidelity { horizon_s: 7.0 * 86_400.0, step_s: 60.0, runs: 100, full: true, threads: 0 }
     }
 
     /// Resolve fidelity from the process environment (`MPLEO_FULL`, plus
-    /// validated `MPLEO_RUNS` / `MPLEO_HORIZON_S` / `MPLEO_STEP_S`
-    /// overrides).
+    /// validated `MPLEO_RUNS` / `MPLEO_HORIZON_S` / `MPLEO_STEP_S` /
+    /// `MPLEO_THREADS` overrides).
     pub fn from_env() -> Result<Fidelity, FidelityError> {
         Self::from_env_map(&std::env::vars().collect())
     }
@@ -126,6 +128,15 @@ impl Fidelity {
                     expected: "a positive number of seconds",
                 },
             )?;
+        }
+        if let Some(v) = env.get(simrt::THREADS_ENV) {
+            fidelity.threads = simrt::env_threads(Some(v))
+                .map_err(|e| FidelityError {
+                    var: simrt::THREADS_ENV,
+                    value: e.value,
+                    expected: "a non-negative integer (0 = auto)",
+                })?
+                .unwrap_or(0);
         }
         if fidelity.step_s > fidelity.horizon_s {
             return Err(FidelityError {
@@ -358,6 +369,17 @@ mod tests {
     }
 
     #[test]
+    fn fidelity_threads_override() {
+        let f = Fidelity::from_env_map(&env(&[("MPLEO_THREADS", "6")])).unwrap();
+        assert_eq!(f.threads, 6);
+        // Empty and "0" both mean auto.
+        let f = Fidelity::from_env_map(&env(&[("MPLEO_THREADS", "0")])).unwrap();
+        assert_eq!(f.threads, 0);
+        let f = Fidelity::from_env_map(&env(&[("MPLEO_THREADS", "")])).unwrap();
+        assert_eq!(f.threads, 0);
+    }
+
+    #[test]
     fn fidelity_rejects_garbage_loudly() {
         for (var, value) in [
             ("MPLEO_FULL", "yes"),
@@ -368,6 +390,9 @@ mod tests {
             ("MPLEO_HORIZON_S", "-5"),
             ("MPLEO_STEP_S", "NaN"),
             ("MPLEO_STEP_S", "0"),
+            ("MPLEO_THREADS", "four"),
+            ("MPLEO_THREADS", "-1"),
+            ("MPLEO_THREADS", "2.5"),
         ] {
             let err = Fidelity::from_env_map(&env(&[(var, value)])).unwrap_err();
             assert_eq!(err.var, var, "{var}={value}");
@@ -385,7 +410,7 @@ mod tests {
 
     #[test]
     fn context_builds() {
-        let f = Fidelity { horizon_s: 3600.0, step_s: 600.0, runs: 1, full: false };
+        let f = Fidelity { horizon_s: 3600.0, step_s: 600.0, runs: 1, full: false, threads: 0 };
         let ctx = Context::new(&f);
         assert_eq!(ctx.cities.len(), 21);
         assert_eq!(ctx.sites.len(), 21);
@@ -396,7 +421,7 @@ mod tests {
 
     #[test]
     fn pool_ephemeris_built_once_and_reused() {
-        let f = Fidelity { horizon_s: 3600.0, step_s: 600.0, runs: 1, full: false };
+        let f = Fidelity { horizon_s: 3600.0, step_s: 600.0, runs: 1, full: false, threads: 0 };
         let ctx = Context::new(&f);
         let a: *const EphemerisStore = ctx.pool_ephemeris();
         let b: *const EphemerisStore = ctx.pool_ephemeris();

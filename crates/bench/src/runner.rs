@@ -8,11 +8,13 @@
 //! * the `suite` binary (`--only`/`--skip`/`--strict`/`--report`, …);
 //! * the `mpleo experiments` CLI subcommand.
 //!
-//! Independent experiments run in parallel (scoped threads, one per
-//! experiment) with per-experiment wall and CPU timing; each produces a
-//! structured [`ExperimentResult`] written to `results/<id>.json`, with
-//! paper expectations evaluated to pass/warn/fail both in the JSON and in
-//! the exit code (`--strict`).
+//! Independent experiments fan out on the shared `simrt` worker pool (one
+//! task per experiment; the pool's token budget keeps this outer
+//! parallelism and each experiment's inner Monte-Carlo parallelism within
+//! one core budget) with per-experiment wall, CPU, and pool timing; each
+//! produces a structured [`ExperimentResult`] written to
+//! `results/<id>.json`, with paper expectations evaluated to
+//! pass/warn/fail both in the JSON and in the exit code (`--strict`).
 
 use crate::expectations::{self, Status};
 use crate::experiment::{Experiment, ExperimentResult, Timing};
@@ -40,6 +42,9 @@ pub struct SuiteOptions {
     pub quiet: bool,
     /// Use this fidelity instead of reading the environment (tests).
     pub fidelity: Option<Fidelity>,
+    /// Worker-thread override (`--threads`; 0 = keep the fidelity's /
+    /// environment's resolution).
+    pub threads: usize,
 }
 
 /// What a suite run produced, for exit-code decisions and tests.
@@ -104,6 +109,7 @@ fn run_one(
     git: Option<&str>,
     warn_only: bool,
 ) -> ExperimentResult {
+    let _ = simrt::take_thread_metrics();
     let cpu0 = thread_cpu_s();
     let wall0 = Instant::now();
     let mut r = exp.run(ctx, fidelity);
@@ -112,13 +118,21 @@ fn run_one(
         (Some(a), Some(b)) => Some(b - a),
         _ => None,
     };
+    // Parallel scopes started by this experiment (this thread) since the
+    // drain above. Measured timing only — never diffed for determinism.
+    let pool = simrt::take_thread_metrics();
     r.id = exp.id().to_string();
     r.title = exp.title().to_string();
     r.fidelity = fidelity.into();
     r.seeds = exp.seeds();
     r.params = exp.params(fidelity);
     r.git_describe = git.map(str::to_string);
-    r.timing = Timing { wall_s, cpu_s };
+    r.timing = Timing {
+        wall_s,
+        cpu_s,
+        busy_s: (pool.scopes > 0).then_some(pool.busy_s),
+        queue_wait_s: (pool.scopes > 0).then_some(pool.queue_wait_s),
+    };
     r.expectations =
         expectations::evaluate_all(&exp.expectations(), &r.scalars, fidelity.full, warn_only);
     r
@@ -178,10 +192,18 @@ fn render_block(r: &ExperimentResult) -> String {
         }
     }
     out.push_str(&format!(
-        "timing: {:.2} s wall{}\n",
+        "timing: {:.2} s wall{}{}{}\n",
         r.timing.wall_s,
         match r.timing.cpu_s {
             Some(c) => format!(", {c:.2} s cpu"),
+            None => String::new(),
+        },
+        match r.timing.busy_s {
+            Some(b) => format!(", {b:.2} s busy"),
+            None => String::new(),
+        },
+        match r.timing.queue_wait_s {
+            Some(q) => format!(", {q:.2} s queued"),
             None => String::new(),
         }
     ));
@@ -196,10 +218,16 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteSummary, String> {
     if selected.is_empty() {
         return Err("no experiments selected".to_string());
     }
-    let fidelity = match &opts.fidelity {
+    let mut fidelity = match &opts.fidelity {
         Some(f) => *f,
         None => Fidelity::from_env().map_err(|e| e.to_string())?,
     };
+    if opts.threads > 0 {
+        fidelity.threads = opts.threads;
+        // Resolve the process-wide count too, so the pool (if not yet
+        // built) is sized to match the explicit request.
+        simrt::configure(opts.threads);
+    }
     let dir = results_dir(opts);
     fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let git = git_describe();
@@ -221,31 +249,29 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteSummary, String> {
         Ok(r)
     };
 
-    let mut results: Vec<Option<Result<ExperimentResult, String>>> =
-        (0..selected.len()).map(|_| None).collect();
-    if opts.sequential || selected.len() == 1 {
-        for (slot, exp) in results.iter_mut().zip(&selected) {
-            *slot = Some(run_and_emit(*exp));
-        }
-    } else {
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for exp in &selected {
-                let exp = *exp;
-                let run_and_emit = &run_and_emit;
-                handles.push(scope.spawn(move || run_and_emit(exp)));
-            }
-            for (slot, handle) in results.iter_mut().zip(handles) {
-                *slot = Some(handle.join().unwrap_or_else(|_| {
-                    Err("experiment thread panicked".to_string())
-                }));
+    // Scopes started under this cap (the fan-out below, plus — at cap 1 —
+    // every transitively inline inner scope) honor the fidelity's thread
+    // count, which is how the determinism tests compare threads=1 against
+    // threads=N inside one process.
+    let results: Vec<Result<ExperimentResult, String>> =
+        simrt::with_thread_cap(fidelity.threads, || {
+            if opts.sequential || selected.len() == 1 {
+                selected.iter().map(|exp| run_and_emit(*exp)).collect()
+            } else {
+                // One pool task per experiment. Panics stay inside the task
+                // (same contract as the old per-experiment thread join).
+                simrt::par_map_indexed(selected.len(), 0, |i| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_and_emit(selected[i])
+                    }))
+                    .unwrap_or_else(|_| Err("experiment thread panicked".to_string()))
+                })
             }
         });
-    }
 
     let mut summary = SuiteSummary::default();
     for (res, exp) in results.into_iter().zip(&selected) {
-        let r = res.expect("every slot filled").map_err(|e| format!("{}: {e}", exp.id()))?;
+        let r = res.map_err(|e| format!("{}: {e}", exp.id()))?;
         for o in &r.expectations {
             match o.status {
                 Status::Pass => summary.pass += 1,
@@ -311,7 +337,7 @@ pub fn usage(prog: &str) -> String {
     format!(
         "usage: {prog} [--list] [--only id,id,...] [--skip id,id,...]\n\
          \x20        [--out DIR] [--strict] [--warn-only] [--sequential]\n\
-         \x20        [--quiet] [--report] [--report-only]\n\
+         \x20        [--quiet] [--threads N] [--report] [--report-only]\n\
          \n\
          Runs the registered experiments (all by default) in one process\n\
          over a shared context, writing results/<id>.json per experiment.\n\
@@ -324,11 +350,14 @@ pub fn usage(prog: &str) -> String {
          --warn-only    downgrade every expectation failure to a warning\n\
          --sequential   run experiments one at a time\n\
          --quiet        suppress per-experiment output (JSON still written)\n\
+         --threads N    worker threads for the shared pool (0 = auto)\n\
          --report       after running, regenerate EXPERIMENTS.md's report block\n\
          --report-only  regenerate the report from existing results, run nothing\n\
          \n\
          Fidelity comes from the environment: MPLEO_FULL=1 for the paper's\n\
-         protocol, MPLEO_RUNS / MPLEO_HORIZON_S / MPLEO_STEP_S to override."
+         protocol, MPLEO_RUNS / MPLEO_HORIZON_S / MPLEO_STEP_S to override.\n\
+         MPLEO_THREADS sets the worker count when --threads is not given\n\
+         (0 or unset = auto-detect)."
     )
 }
 
@@ -364,6 +393,12 @@ pub fn parse_args(args: &[String]) -> Result<SuiteCommand, String> {
             "--warn-only" => opts.warn_only = true,
             "--sequential" => opts.sequential = true,
             "--quiet" => opts.quiet = true,
+            "--threads" => {
+                let v = it.next().ok_or_else(|| "--threads needs a count (0 = auto)".to_string())?;
+                opts.threads = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads {v:?} is invalid: expected a non-negative integer (0 = auto)"))?;
+            }
             "--report" => report = true,
             "--report-only" => report_only = true,
             "--help" | "-h" => return Ok(SuiteCommand::Help),
@@ -454,6 +489,21 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        match parse_args(&s(&["--threads", "4"])).unwrap() {
+            SuiteCommand::Run { opts, .. } => assert_eq!(opts.threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&s(&["--threads", "0"])).unwrap() {
+            SuiteCommand::Run { opts, .. } => assert_eq!(opts.threads, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&s(&["--threads"])).is_err());
+        let err = parse_args(&s(&["--threads", "four"])).unwrap_err();
+        assert!(err.contains("four"), "{err}");
     }
 
     #[test]

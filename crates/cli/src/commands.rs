@@ -36,6 +36,17 @@ pub fn tle(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// The `--threads <n>` flag: pin the shared `simrt` worker pool to `n`
+/// threads for this invocation. 0 (or absent) leaves the decision to
+/// `MPLEO_THREADS`, falling back to auto-detection.
+fn configure_threads(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let threads = args.get_usize("threads", 0)?;
+    if threads > 0 {
+        simrt::configure(threads);
+    }
+    Ok(())
+}
+
 /// The `--ephemeris-cache <path>` flag (also honored via the
 /// `MPLEO_EPHEMERIS_CACHE` environment variable; empty = disabled).
 fn ephemeris_cache(args: &Args) -> Option<PathBuf> {
@@ -82,7 +93,8 @@ fn site_table(args: &Args, lat: f64, lon: f64) -> Result<(VisibilityTable, usize
 
 /// `mpleo coverage` — coverage statistics for a point or named region.
 pub fn coverage(args: &Args) -> CmdResult {
-    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "region", "ephemeris-cache"])?;
+    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "region", "ephemeris-cache", "threads"])?;
+    configure_threads(args)?;
     let region_name = args.get_str("region", "");
     if !region_name.is_empty() {
         return coverage_region(args, &region_name);
@@ -138,7 +150,8 @@ fn coverage_region(args: &Args, name: &str) -> CmdResult {
 
 /// `mpleo plan` — gap-filling slot suggestions.
 pub fn plan(args: &Args) -> CmdResult {
-    args.expect_only(&["contribute", "base", "days", "step"])?;
+    args.expect_only(&["contribute", "base", "days", "step", "threads"])?;
+    configure_threads(args)?;
     let contribute = args.get_usize("contribute", 3)?;
     let base_n = args.get_usize("base", 40)?;
     let days = args.get_f64("days", 1.0)?;
@@ -240,7 +253,8 @@ pub fn screen(args: &Args) -> CmdResult {
 
 /// `mpleo sla` — quote the sellable tier.
 pub fn sla(args: &Args) -> CmdResult {
-    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "ephemeris-cache"])?;
+    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "ephemeris-cache", "threads"])?;
+    configure_threads(args)?;
     let lat = args.get_f64("lat", 25.033)?;
     let lon = args.get_f64("lon", 121.565)?;
     let (vt, n) = site_table(args, lat, lon)?;
@@ -328,7 +342,8 @@ pub fn manifest(args: &Args) -> CmdResult {
 }
 /// `mpleo map` — ASCII world coverage map.
 pub fn map(args: &Args) -> CmdResult {
-    args.expect_only(&["sats", "hours", "mask", "rows", "cols", "ephemeris-cache"])?;
+    args.expect_only(&["sats", "hours", "mask", "rows", "cols", "ephemeris-cache", "threads"])?;
+    configure_threads(args)?;
     let sats_n = args.get_usize("sats", 200)?;
     let hours = args.get_f64("hours", 12.0)?;
     let mask = args.get_f64("mask", 25.0)?;
@@ -506,6 +521,7 @@ pub fn experiments(args: &Args) -> CmdResult {
         "quiet",
         "report",
         "report-only",
+        "threads",
     ])?;
     // Re-encode as suite-style argv so both front ends share one parser.
     let mut argv: Vec<String> = Vec::new();
@@ -514,7 +530,7 @@ pub fn experiments(args: &Args) -> CmdResult {
             argv.push(format!("--{flag}"));
         }
     }
-    for flag in ["only", "skip", "out"] {
+    for flag in ["only", "skip", "out", "threads"] {
         let v = args.get_str(flag, "");
         if !v.is_empty() {
             argv.push(format!("--{flag}"));
@@ -562,6 +578,12 @@ mod tests {
     fn coverage_region_runs() {
         assert!(coverage(&argv("coverage --region taiwan --sats 100 --days 0.25 --step 300")).is_ok());
         assert!(coverage(&argv("coverage --region atlantis")).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_garbage() {
+        assert!(coverage(&argv("coverage --sats 30 --days 0.25 --step 300 --threads 2")).is_ok());
+        assert!(coverage(&argv("coverage --sats 30 --days 0.25 --step 300 --threads x")).is_err());
     }
 
     #[test]

@@ -77,19 +77,23 @@ COMMANDS:
                 --region taiwan|ukraine|korea (overrides lat/lon)
                 --sats N (500) --days D (1) --step S (60) --mask DEG (25)
                 --ephemeris-cache PATH (reuse pool ephemerides on disk)
+                --threads N (0 = auto)
     plan      suggest gap-filling orbital slots for a new contribution
                 --contribute K (3) --base N (40) --days D (1)
+                --threads N (0 = auto)
     screen    conjunction screening of a synthesized constellation
                 --planes N (6) --per-plane M (6) --hours H (6)
                 --threshold KM (10)
     sla       quote the sellable service tier for a point
                 --lat DEG --lon DEG --sats N (500) --days D (1)
                 --ephemeris-cache PATH (reuse pool ephemerides on disk)
+                --threads N (0 = auto)
     cities    print the embedded 21-city dataset
     map       ASCII world map of coverage fraction
                 --sats N (200) --hours H (12) --mask DEG (25)
                 --rows R (18) --cols C (72)
                 --ephemeris-cache PATH (reuse pool ephemerides on disk)
+                --threads N (0 = auto)
     audit     fit an orbit from synthetic ranging and audit a publication
                 --forge-raan DEG (0 = honest publication)
     manifest  emit a validated constellation manifest as JSON
@@ -106,8 +110,10 @@ COMMANDS:
                 --out DIR (results/, JSON per experiment) --strict
                 --warn-only --sequential --quiet
                 --report (regenerate EXPERIMENTS.md) --report-only
+                --threads N (worker threads for the shared pool; 0 = auto)
                 fidelity via MPLEO_FULL / MPLEO_RUNS / MPLEO_HORIZON_S /
-                MPLEO_STEP_S
+                MPLEO_STEP_S; MPLEO_THREADS sets the worker count when
+                --threads is not given (0 or unset = auto-detect)
     help      this message
 
 All commands run fully offline on a synthetic Starlink-like pool."

@@ -11,8 +11,8 @@
 //! (structure-of-arrays) table of ECEF coordinates: `x`, `y`, `z` are flat
 //! `Vec<f64>` indexed `[sat * steps + k]`, so one satellite's trajectory is a
 //! contiguous cache-friendly row. The build is partitioned across threads by
-//! satellite (crossbeam scoped threads, honoring `SimConfig::threads`) and
-//! respects `SimConfig::propagator`. Downstream consumers — the visibility
+//! satellite (on the shared `simrt` worker pool, honoring
+//! `SimConfig::threads`) and respects `SimConfig::propagator`. Downstream consumers — the visibility
 //! kernel, the coverage map, bent-pipe latency, ISL relays — are pure
 //! geometry over the store.
 //!
@@ -75,7 +75,11 @@ impl EphemerisStore {
         let mut z = vec![0.0f64; n * steps];
         let threads = config.thread_count().max(1).min(n.max(1));
         let chunk = n.div_ceil(threads).max(1);
-        crossbeam::thread::scope(|scope| {
+        // Pre-split the columns into per-chunk jobs, then run the jobs on
+        // the shared simrt pool. The partitioning (and hence every floating
+        // point result) is identical to the old scoped-thread version.
+        let mut jobs: Vec<(&[Satellite], &mut [f64], &mut [f64], &mut [f64])> = Vec::new();
+        {
             let mut xs_rest: &mut [f64] = &mut x;
             let mut ys_rest: &mut [f64] = &mut y;
             let mut zs_rest: &mut [f64] = &mut z;
@@ -87,25 +91,26 @@ impl EphemerisStore {
                 xs_rest = xr;
                 ys_rest = yr;
                 zs_rest = zr;
-                let prop_kind = config.propagator;
-                scope.spawn(move |_| {
-                    let mut eci = vec![Vec3::ZERO; steps];
-                    for (i, sat) in sat_chunk.iter().enumerate() {
-                        propagator_for(sat, prop_kind, |prop| {
-                            prop.positions_into(grid.start, grid.step_s, &mut eci);
-                        });
-                        let row = i * steps;
-                        for (k, &p) in eci.iter().enumerate() {
-                            let ecef = eci_to_ecef(p, grid.gmst_at(k));
-                            xs[row + k] = ecef.x;
-                            ys[row + k] = ecef.y;
-                            zs[row + k] = ecef.z;
-                        }
-                    }
-                });
+                jobs.push((sat_chunk, xs, ys, zs));
             }
-        })
-        .expect("ephemeris worker panicked");
+        }
+        let prop_kind = config.propagator;
+        simrt::par_for_each_mut(&mut jobs, threads, |_, (sat_chunk, xs, ys, zs)| {
+            // One scratch ECI buffer per chunk, reused across its satellites.
+            let mut eci = vec![Vec3::ZERO; steps];
+            for (i, sat) in sat_chunk.iter().enumerate() {
+                propagator_for(sat, prop_kind, |prop| {
+                    prop.positions_into(grid.start, grid.step_s, &mut eci);
+                });
+                let row = i * steps;
+                for (k, &p) in eci.iter().enumerate() {
+                    let ecef = eci_to_ecef(p, grid.gmst_at(k));
+                    xs[row + k] = ecef.x;
+                    ys[row + k] = ecef.y;
+                    zs[row + k] = ecef.z;
+                }
+            }
+        });
         EphemerisStore {
             grid: grid.clone(),
             sat_ids: sats.iter().map(|s| s.id).collect(),

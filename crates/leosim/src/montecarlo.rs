@@ -5,6 +5,13 @@
 //! randomly sample satellites from the Starlink network"). This module
 //! provides deterministic, seed-derived sampling so experiments are exactly
 //! reproducible, and a small runner that aggregates per-run scalars.
+//!
+//! Runs execute in parallel on the shared `simrt` pool. Reproducibility
+//! survives that by construction: run `r` always draws from
+//! [`run_rng`]`(seed, r)` — an independent stream per run — and results are
+//! collected in run order before aggregation, so the floating-point
+//! reduction order (and hence every output bit) is the same at any thread
+//! count.
 
 use crate::coverage::Aggregate;
 use rand::rngs::StdRng;
@@ -48,16 +55,27 @@ pub fn pick_one(rng: &mut StdRng, n: usize) -> usize {
     rng.gen_range(0..n)
 }
 
+/// Run `runs` seeded experiment bodies in parallel (shared `simrt` pool)
+/// and collect their outputs in run order. Deterministic at any thread
+/// count: run `r` draws only from `run_rng(seed, r)` and lands in slot `r`.
+pub fn run_samples<T: Send>(
+    seed: u64,
+    runs: usize,
+    body: impl Fn(&mut StdRng, usize) -> T + Sync,
+) -> Vec<T> {
+    simrt::par_map_indexed(runs, 0, |r| {
+        let mut rng = run_rng(seed, r as u64);
+        body(&mut rng, r)
+    })
+}
+
 /// Run `runs` seeded experiment bodies and aggregate their scalar outputs.
-pub fn run_experiment(seed: u64, runs: usize, mut body: impl FnMut(&mut StdRng, usize) -> f64) -> Aggregate {
+///
+/// Parallel via [`run_samples`]; the aggregation reduces the run-ordered
+/// sample vector, so results are bit-identical to a sequential loop.
+pub fn run_experiment(seed: u64, runs: usize, body: impl Fn(&mut StdRng, usize) -> f64 + Sync) -> Aggregate {
     assert!(runs > 0, "need at least one run");
-    let samples: Vec<f64> = (0..runs)
-        .map(|r| {
-            let mut rng = run_rng(seed, r as u64);
-            body(&mut rng, r)
-        })
-        .collect();
-    Aggregate::from_samples(&samples)
+    Aggregate::from_samples(&run_samples(seed, runs, body))
 }
 
 #[cfg(test)]
@@ -133,18 +151,17 @@ mod tests {
     #[test]
     fn adding_runs_preserves_prefix() {
         // Run k's stream must not depend on the total run count.
-        let mut first_five_a = Vec::new();
-        let _ = run_experiment(5, 5, |rng, _| {
-            let x: f64 = rng.gen();
-            first_five_a.push(x);
-            x
-        });
-        let mut first_five_b = Vec::new();
-        let _ = run_experiment(5, 10, |rng, _| {
-            let x: f64 = rng.gen();
-            first_five_b.push(x);
-            x
-        });
-        assert_eq!(&first_five_a[..], &first_five_b[..5]);
+        let five = run_samples(5, 5, |rng, _| rng.gen::<f64>());
+        let ten = run_samples(5, 10, |rng, _| rng.gen::<f64>());
+        assert_eq!(&five[..], &ten[..5]);
+    }
+
+    #[test]
+    fn run_samples_is_thread_count_invariant() {
+        let serial = simrt::with_thread_cap(1, || run_samples(77, 64, |rng, _| rng.gen::<f64>()));
+        let parallel = run_samples(77, 64, |rng, _| rng.gen::<f64>());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "run {i}");
+        }
     }
 }

@@ -6,8 +6,8 @@
 //! kernel over an [`EphemerisStore`]'s columnar ECEF rows.
 //! [`VisibilityTable::compute`] remains as the one-shot convenience that
 //! builds a throwaway store first. Work is partitioned across threads by
-//! satellite, using `crossbeam` scoped threads so store and site slices can
-//! be borrowed without cloning.
+//! satellite on the shared `simrt` worker pool, whose scoped primitives let
+//! the store and site slices be borrowed without cloning.
 
 use crate::bitset::TimeBitset;
 use crate::ephemeris::EphemerisStore;
@@ -52,11 +52,16 @@ impl SimConfig {
         self
     }
 
-    pub(crate) fn thread_count(&self) -> usize {
+    /// The resolved worker count for this config: an explicit `threads`
+    /// wins; `0` defers to the process-wide [`simrt::threads`] resolution
+    /// (CLI `--threads`, then a validated `MPLEO_THREADS`, then available
+    /// parallelism). No silent made-up default — the old
+    /// `available_parallelism().unwrap_or(4)` fallback is gone.
+    pub fn thread_count(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            simrt::threads()
         }
     }
 }
@@ -118,24 +123,11 @@ impl VisibilityTable {
     ) -> VisibilityTable {
         let sin_mask = config.min_elevation_deg.to_radians().sin();
         let n = indices.len();
-        let threads = config.thread_count().max(1).min(n.max(1));
-        let mut table: Vec<Vec<TimeBitset>> = Vec::with_capacity(n);
-        table.resize_with(n, Vec::new);
-
-        // Partition satellites into contiguous chunks, one per worker.
-        let chunk = n.div_ceil(threads).max(1);
-        let mut slots: Vec<&mut [Vec<TimeBitset>]> = table.chunks_mut(chunk).collect();
-        crossbeam::thread::scope(|scope| {
-            for (ci, slot) in slots.iter_mut().enumerate() {
-                let idx_chunk = &indices[ci * chunk..(ci * chunk + slot.len()).min(n)];
-                scope.spawn(move |_| {
-                    for (&sat, out) in idx_chunk.iter().zip(slot.iter_mut()) {
-                        *out = visibility_row(store, sat, sites, sin_mask);
-                    }
-                });
-            }
-        })
-        .expect("visibility worker panicked");
+        // One task per satellite row on the shared pool; results land in
+        // index order, so the table is identical at every thread count.
+        let table: Vec<Vec<TimeBitset>> = simrt::par_map_indexed(n, config.thread_count(), |i| {
+            visibility_row(store, indices[i], sites, sin_mask)
+        });
 
         VisibilityTable {
             grid: store.grid.clone(),

@@ -52,7 +52,8 @@ pub fn marginal_gain_s(
 ///
 /// `vt` must be computed over the *entire pool*; each run samples
 /// `base_size + 1` distinct satellites, uses the last as the addition, and
-/// measures the population-weighted gain.
+/// measures the population-weighted gain. Runs execute in parallel on the
+/// shared `simrt` pool with deterministic per-run RNG streams.
 pub fn random_addition_experiment(
     vt: &VisibilityTable,
     base_size: usize,

@@ -53,7 +53,9 @@ pub fn withdrawal_loss(
 
 /// Fig. 5 body: build a base constellation of `l` satellites sampled from
 /// the pool, withdraw a random half, and report the loss percentage.
-/// Repeated `runs` times with deterministic seeding.
+/// Repeated `runs` times with deterministic seeding; the runs execute in
+/// parallel on the shared `simrt` pool with per-run RNG streams, so the
+/// aggregate is bit-identical at any thread count.
 pub fn half_withdrawal_experiment(
     vt_pool: &VisibilityTable,
     l: usize,
@@ -74,6 +76,8 @@ pub fn half_withdrawal_experiment(
 /// Fig. 6 body: `total` satellites sampled from the pool are split across
 /// `1 + others` parties with stake ratio `r:1:…:1` (satellites interleaved
 /// randomly, the coverage-optimal arrangement); the largest party withdraws.
+/// Runs execute in parallel on the shared `simrt` pool; every RNG stream is
+/// derived from `(seed, run)`, so results do not depend on thread count.
 pub fn skewed_withdrawal_experiment(
     vt_pool: &VisibilityTable,
     total: usize,

@@ -1,0 +1,108 @@
+//! Built-in scope instrumentation.
+//!
+//! Every parallel scope records what it did — task count, wall time, summed
+//! claimant busy time, and how long its helper jobs sat in the pool queue —
+//! into two accumulators: a per-thread one (scopes *started by* that
+//! thread; the experiment runner snapshots it around each experiment) and a
+//! process-global one. Reading is free of locks on the hot path; recording
+//! happens once per scope, not per task.
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+/// Accumulated metrics over one or more parallel scopes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScopeMetrics {
+    /// Number of scopes recorded.
+    pub scopes: u64,
+    /// Total tasks (indices) executed across those scopes.
+    pub tasks: u64,
+    /// Total claimants (the caller plus every helper that actually ran),
+    /// summed over scopes.
+    pub workers: u64,
+    /// Wall-clock seconds, summed over scopes (caller's view).
+    pub wall_s: f64,
+    /// Busy seconds summed over every claimant of every scope. `busy_s /
+    /// wall_s` is the scope's effective parallelism.
+    pub busy_s: f64,
+    /// Seconds helper jobs spent queued before a worker picked them up.
+    pub queue_wait_s: f64,
+}
+
+impl ScopeMetrics {
+    pub(crate) const ZERO: ScopeMetrics = ScopeMetrics {
+        scopes: 0,
+        tasks: 0,
+        workers: 0,
+        wall_s: 0.0,
+        busy_s: 0.0,
+        queue_wait_s: 0.0,
+    };
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &ScopeMetrics) {
+        self.scopes += other.scopes;
+        self.tasks += other.tasks;
+        self.workers += other.workers;
+        self.wall_s += other.wall_s;
+        self.busy_s += other.busy_s;
+        self.queue_wait_s += other.queue_wait_s;
+    }
+}
+
+thread_local! {
+    static THREAD: Cell<ScopeMetrics> = const { Cell::new(ScopeMetrics::ZERO) };
+}
+
+static GLOBAL: Mutex<ScopeMetrics> = Mutex::new(ScopeMetrics::ZERO);
+
+/// Record one finished scope (called by the pool at scope exit, on the
+/// thread that started the scope).
+pub(crate) fn record(m: ScopeMetrics) {
+    THREAD.with(|c| {
+        let mut cur = c.get();
+        cur.merge(&m);
+        c.set(cur);
+    });
+    GLOBAL.lock().unwrap().merge(&m);
+}
+
+/// Metrics of every scope started by the current thread since the last
+/// [`take_thread_metrics`].
+pub fn thread_metrics() -> ScopeMetrics {
+    THREAD.with(|c| c.get())
+}
+
+/// Return and reset the current thread's accumulator — the per-experiment
+/// delta the runner records into `timing.busy_s` / `timing.queue_wait_s`.
+pub fn take_thread_metrics() -> ScopeMetrics {
+    THREAD.with(|c| c.replace(ScopeMetrics::ZERO))
+}
+
+/// Process-wide accumulated metrics (never reset).
+pub fn global_metrics() -> ScopeMetrics {
+    *GLOBAL.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ScopeMetrics { scopes: 1, tasks: 10, workers: 2, wall_s: 1.0, busy_s: 1.5, queue_wait_s: 0.25 };
+        a.merge(&a.clone());
+        assert_eq!(a.scopes, 2);
+        assert_eq!(a.tasks, 20);
+        assert_eq!(a.workers, 4);
+        assert!((a.busy_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_resets_thread_accumulator() {
+        record(ScopeMetrics { scopes: 1, tasks: 3, ..ScopeMetrics::ZERO });
+        let taken = take_thread_metrics();
+        assert!(taken.scopes >= 1);
+        assert_eq!(thread_metrics(), ScopeMetrics::ZERO);
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration tests for the public simrt surface: the determinism
+//! contract (index-ordered results at any thread count), panic
+//! propagation, and nesting under the token budget.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn par_map_indexed_is_order_preserving_at_every_cap() {
+    for cap in [0, 1, 2, 3, 8] {
+        let out = simrt::par_map_indexed(4096, cap, |i| i as u64 * 7 + 3);
+        assert_eq!(out.len(), 4096);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 7 + 3, "cap {cap}, index {i}");
+        }
+    }
+}
+
+#[test]
+fn results_are_bit_identical_across_thread_caps() {
+    // A float-producing body whose per-index value depends only on the
+    // index: threads=1 and threads=many must agree to the bit.
+    let body = |i: usize| {
+        let x = (i as f64 + 1.0).sqrt();
+        x.sin() * x.cos() + x.ln()
+    };
+    let serial = simrt::with_thread_cap(1, || simrt::par_map_indexed(10_000, 0, body));
+    let parallel = simrt::par_map_indexed(10_000, 0, body);
+    for i in 0..serial.len() {
+        assert_eq!(
+            serial[i].to_bits(),
+            parallel[i].to_bits(),
+            "index {i} differs between serial and parallel"
+        );
+    }
+}
+
+#[test]
+fn panic_payload_reaches_the_caller() {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        simrt::par_map_indexed(512, 0, |i| {
+            if i == 300 {
+                panic!("index {i} exploded");
+            }
+            i
+        })
+    }))
+    .expect_err("the task panic must surface in the caller");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("exploded"), "unexpected payload: {msg:?}");
+
+    // And the runtime still works afterwards.
+    let ok = simrt::par_map_indexed(64, 0, |i| i);
+    assert_eq!(ok.len(), 64);
+}
+
+#[test]
+fn nested_fan_out_matches_sequential_reference() {
+    let nested: Vec<u64> = simrt::par_map_indexed(6, 0, |outer| {
+        simrt::par_map_indexed(1000, 0, |inner| (outer * 1000 + inner) as u64)
+            .into_iter()
+            .sum()
+    });
+    let reference: Vec<u64> = (0..6u64)
+        .map(|outer| (0..1000u64).map(|inner| outer * 1000 + inner).sum())
+        .collect();
+    assert_eq!(nested, reference);
+}
+
+#[test]
+fn scope_metrics_accumulate_per_thread() {
+    let _ = simrt::take_thread_metrics();
+    let _ = simrt::par_map_indexed(128, 0, |i| i * 2);
+    let _ = simrt::par_map_indexed(64, 0, |i| i + 1);
+    let m = simrt::take_thread_metrics();
+    assert_eq!(m.scopes, 2);
+    assert_eq!(m.tasks, 192);
+    assert!(m.workers >= 2, "at least the caller per scope");
+    assert!(m.wall_s >= 0.0 && m.busy_s >= 0.0 && m.queue_wait_s >= 0.0);
+    // Taking drained the accumulator.
+    assert_eq!(simrt::thread_metrics(), simrt::ScopeMetrics::default());
+}

@@ -1,0 +1,62 @@
+//! The workspace's determinism contract, end to end: running the suite at
+//! threads=1 and threads=4 must produce byte-identical results JSON once
+//! the (measured, non-deterministic) `timing` object is excluded. CI
+//! re-checks the same property across two processes via `MPLEO_THREADS`;
+//! this test checks it in-process via the fidelity's thread cap.
+
+use mpleo_bench::experiment::{ExperimentResult, Timing};
+use mpleo_bench::runner::{run_suite, SuiteOptions};
+use mpleo_bench::Fidelity;
+use std::fs;
+use std::path::PathBuf;
+
+const EXPERIMENTS: [&str; 2] = ["fig2", "ablation_elevation"];
+
+/// Run the quick-fidelity subset at a thread count and return, per
+/// experiment id, the pretty JSON with `timing` zeroed out.
+fn suite_json(threads: usize, name: &str) -> Vec<(String, String)> {
+    let out = std::env::temp_dir().join(format!("mpleo-determinism-{name}-t{threads}"));
+    let _ = fs::remove_dir_all(&out);
+    let fidelity = Fidelity {
+        horizon_s: 6.0 * 3600.0,
+        step_s: 600.0,
+        runs: 3,
+        full: false,
+        threads,
+    };
+    let opts = SuiteOptions {
+        only: EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
+        out_dir: Some(out.clone()),
+        warn_only: true,
+        quiet: true,
+        fidelity: Some(fidelity),
+        ..Default::default()
+    };
+    run_suite(&opts).expect("suite runs");
+    let mut blobs = Vec::new();
+    for id in EXPERIMENTS {
+        let path: PathBuf = out.join(format!("{id}.json"));
+        let text = fs::read_to_string(&path).expect("result written");
+        let mut r: ExperimentResult = serde_json::from_str(&text).expect("valid result JSON");
+        // Timing is measured, not computed — the one field allowed to
+        // differ between runs and thread counts.
+        r.timing = Timing::default();
+        blobs.push((id.to_string(), serde_json::to_string_pretty(&r).expect("serialize")));
+    }
+    let _ = fs::remove_dir_all(&out);
+    blobs
+}
+
+#[test]
+fn suite_results_are_byte_identical_at_threads_1_and_4() {
+    let t1 = suite_json(1, "cmp");
+    let t4 = suite_json(4, "cmp");
+    assert_eq!(t1.len(), t4.len());
+    for ((id1, json1), (id4, json4)) in t1.iter().zip(&t4) {
+        assert_eq!(id1, id4);
+        assert_eq!(
+            json1, json4,
+            "{id1}: results differ between threads=1 and threads=4 (timing excluded)"
+        );
+    }
+}

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 /// A tiny fidelity so suite runs stay fast: one hour at 10-minute steps,
 /// two Monte-Carlo runs.
 fn tiny_fidelity() -> Fidelity {
-    Fidelity { horizon_s: 3600.0, step_s: 600.0, runs: 2, full: false }
+    Fidelity { horizon_s: 3600.0, step_s: 600.0, runs: 2, full: false, threads: 0 }
 }
 
 fn tmp_out(name: &str) -> PathBuf {
