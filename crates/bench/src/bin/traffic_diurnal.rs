@@ -1,0 +1,8 @@
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::traffic_diurnal`; this binary is kept for CLI
+//! compatibility. Prefer `--bin suite --only traffic_diurnal` (or `mpleo
+//! experiments`) to run several experiments over one shared context.
+
+fn main() {
+    mpleo_bench::runner::main_for("traffic_diurnal");
+}

@@ -1,0 +1,152 @@
+//! Ablation: demand-scale sweep over the traffic engine.
+//!
+//! How does the shared constellation degrade as offered load grows past
+//! what it can carry? The routing pass (the expensive part) is computed
+//! once; the demand matrix is then scaled ×0.5 … ×4 and re-allocated. The
+//! invariants under test: total served traffic is monotone non-decreasing
+//! in offered load (max-min fairness never throws capacity away), while
+//! the served *ratio* is monotone non-increasing (congestion only hurts).
+
+use crate::expectations::{Comparator, Expectation};
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiments::expect;
+use crate::{seeds, Context, Fidelity};
+use leosim::montecarlo::{run_rng, sample_indices};
+use mpleo::party::PartyId;
+use traffic::{
+    gateways_every_nth, run_traffic_with_routes, DemandMatrix, RouteTable, TrafficConfig,
+};
+
+/// See module docs.
+pub struct AblationTrafficMix;
+
+/// The swept demand multipliers.
+pub const SCALES: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+fn sample_size(fidelity: &Fidelity) -> usize {
+    if fidelity.full {
+        500
+    } else {
+        200
+    }
+}
+
+impl Experiment for AblationTrafficMix {
+    fn id(&self) -> &'static str {
+        "ablation_traffic_mix"
+    }
+
+    fn title(&self) -> &'static str {
+        "served traffic vs offered demand scale"
+    }
+
+    fn seeds(&self) -> Vec<u64> {
+        vec![seeds::ABLATION_TRAFFIC_MIX]
+    }
+
+    fn params(&self, fidelity: &Fidelity) -> Vec<(String, String)> {
+        vec![
+            ("sample".into(), sample_size(fidelity).to_string()),
+            (
+                "scales".into(),
+                SCALES.map(|s| format!("{s}")).join(","),
+            ),
+            ("gateway_stride".into(), "3".into()),
+        ]
+    }
+
+    fn expectations(&self) -> Vec<Expectation> {
+        vec![
+            expect(
+                "served_monotone",
+                Comparator::Within,
+                1.0,
+                0.0,
+                "fairness sanity: more offered load never reduces served load",
+                true,
+            ),
+            expect(
+                "ratio_monotone",
+                Comparator::Within,
+                1.0,
+                0.0,
+                "congestion sanity: the served ratio never improves with load",
+                true,
+            ),
+        ]
+    }
+
+    fn run(&self, ctx: &Context, fidelity: &Fidelity) -> ExperimentResult {
+        let sample = sample_size(fidelity);
+        let mut rng = run_rng(seeds::ABLATION_TRAFFIC_MIX, 0);
+        let idx = sample_indices(&mut rng, ctx.pool.len(), sample);
+        let store = ctx.subset_ephemeris(&idx);
+
+        let parties = vec![PartyId::new("pool")];
+        let sat_party = vec![0usize; store.sat_count()];
+        let city_party = vec![0usize; ctx.cities.len()];
+        let gateways = gateways_every_nth(&ctx.cities, 3);
+        let sites: Vec<_> = ctx.cities.iter().map(|c| c.site()).collect();
+
+        let mut cfg = TrafficConfig::default();
+        cfg.demand.seed = seeds::ABLATION_TRAFFIC_MIX;
+
+        // One routing pass serves every scale point.
+        let base = DemandMatrix::generate(&ctx.cities, &store.grid, &cfg.demand);
+        let routes = RouteTable::build(&store, &sites, &gateways, &ctx.config, &cfg.graph);
+
+        let mut rows = Vec::new();
+        let mut served_means = Vec::new();
+        let mut ratios_pct = Vec::new();
+        for scale in SCALES {
+            let mut demand = base.clone();
+            for v in &mut demand.offered_mbps {
+                *v *= scale;
+            }
+            let point_cfg = TrafficConfig { demand_scale: scale, ..cfg.clone() };
+            let report = run_traffic_with_routes(
+                &demand, &routes, &point_cfg, &sat_party, &city_party, &parties,
+            );
+            let served_mean = report.total_served_steps.iter().sum::<f64>()
+                / report.steps.max(1) as f64;
+            let ratio_pct = report.served_ratio() * 100.0;
+            rows.push(vec![
+                format!("x{scale}"),
+                format!("{:.0}", report.total_offered_steps.iter().sum::<f64>()
+                    / report.steps.max(1) as f64),
+                format!("{served_mean:.0}"),
+                format!("{ratio_pct:.1}"),
+                format!("{:.1}", report.drop_pct()),
+            ]);
+            served_means.push(served_mean);
+            ratios_pct.push(ratio_pct);
+        }
+
+        let served_monotone =
+            served_means.windows(2).all(|w| w[1] >= w[0] - 1e-6) as u8 as f64;
+        let ratio_monotone =
+            ratios_pct.windows(2).all(|w| w[1] <= w[0] + 1e-6) as u8 as f64;
+
+        ExperimentResult::data()
+            .scalar("served_monotone", served_monotone)
+            .scalar("ratio_monotone", ratio_monotone)
+            .scalar("served_ratio_x1_pct", ratios_pct[1])
+            .scalar("served_ratio_x4_pct", ratios_pct[3])
+            .scalar(
+                "served_gain_x4_over_x1",
+                if served_means[1] > 0.0 { served_means[3] / served_means[1] } else { 0.0 },
+            )
+            .series("scales", SCALES.to_vec())
+            .series("served_mean_mbps", served_means)
+            .series("served_ratio_pct", ratios_pct)
+            .table(
+                "sweep",
+                &["scale", "offered Mbps", "served Mbps", "served %", "drop %"],
+                rows,
+            )
+            .note("takeaway: served traffic saturates rather than collapses as load")
+            .note("grows — max-min fairness fills every bottleneck before dropping —")
+            .note("while the served ratio falls, which is exactly the deficit signal")
+            .note("the capacity market monetizes.")
+    }
+}

@@ -16,6 +16,7 @@ pub mod ablation_ownership;
 pub mod ablation_payload;
 pub mod ablation_pricing;
 pub mod ablation_qos;
+pub mod ablation_traffic_mix;
 pub mod fig1a;
 pub mod fig2;
 pub mod fig3;
@@ -24,6 +25,7 @@ pub mod fig4b;
 pub mod fig4c;
 pub mod fig5;
 pub mod fig6;
+pub mod traffic_diurnal;
 
 use crate::expectations::{Comparator, Expectation};
 

@@ -1,5 +1,5 @@
 //! The experiment registry: the single list of every figure/ablation the
-//! harness can run, keyed by stable id. The 21 `src/bin/` shims, the
+//! harness can run, keyed by stable id. The 23 `src/bin/` shims, the
 //! `suite` binary, and the `mpleo experiments` CLI subcommand all resolve
 //! through here.
 
@@ -8,7 +8,7 @@ use crate::experiments::*;
 
 /// Every registered experiment, in EXPERIMENTS.md order: figures first,
 /// then the ablations.
-pub static ALL: [&dyn Experiment; 21] = [
+pub static ALL: [&dyn Experiment; 23] = [
     &fig1a::Fig1a,
     &fig2::Fig2,
     &fig3::Fig3,
@@ -30,6 +30,8 @@ pub static ALL: [&dyn Experiment; 21] = [
     &ablation_failures::AblationFailures,
     &ablation_downlink::AblationDownlink,
     &ablation_economics::AblationEconomics,
+    &traffic_diurnal::TrafficDiurnal,
+    &ablation_traffic_mix::AblationTrafficMix,
 ];
 
 /// All experiment ids, registry order.
@@ -72,10 +74,10 @@ mod tests {
     use std::collections::BTreeSet;
 
     #[test]
-    fn registry_has_all_21_experiments_with_distinct_ids() {
-        assert_eq!(ALL.len(), 21);
+    fn registry_has_all_23_experiments_with_distinct_ids() {
+        assert_eq!(ALL.len(), 23);
         let unique: BTreeSet<&str> = ids().into_iter().collect();
-        assert_eq!(unique.len(), 21, "duplicate experiment ids");
+        assert_eq!(unique.len(), 23, "duplicate experiment ids");
         // Every historical binary name is present.
         for id in [
             "fig1a",
@@ -99,6 +101,8 @@ mod tests {
             "ablation_failures",
             "ablation_downlink",
             "ablation_economics",
+            "traffic_diurnal",
+            "ablation_traffic_mix",
         ] {
             assert!(get(id).is_some(), "missing experiment {id}");
         }
@@ -107,7 +111,7 @@ mod tests {
     #[test]
     fn select_filters() {
         let sel = select(&[], &[]).unwrap();
-        assert_eq!(sel.len(), 21);
+        assert_eq!(sel.len(), 23);
         let sel = select(&["fig2".into(), "fig3".into()], &[]).unwrap();
         assert_eq!(sel.iter().map(|e| e.id()).collect::<Vec<_>>(), vec!["fig2", "fig3"]);
         let sel = select(&["fig2".into(), "fig3".into()], &["fig2".into()]).unwrap();

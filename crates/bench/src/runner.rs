@@ -3,7 +3,7 @@
 //! One process, one shared [`Context`] (and therefore one pool ephemeris
 //! build), any subset of the registry. Three entry points share it:
 //!
-//! * the 21 historical binaries, each now a one-line
+//! * the 23 historical binaries, each now a one-line
 //!   [`main_for`]`("fig2")` shim;
 //! * the `suite` binary (`--only`/`--skip`/`--strict`/`--report`, …);
 //! * the `mpleo experiments` CLI subcommand.
@@ -294,7 +294,7 @@ fn print_summary(s: &SuiteSummary) {
     );
 }
 
-/// Entry point for the 21 historical binaries: run exactly one experiment
+/// Entry point for the 23 historical binaries: run exactly one experiment
 /// (quick fidelity by default, `MPLEO_FULL=1` for the paper's), write its
 /// JSON, and exit non-zero on a hard expectation failure.
 pub fn main_for(id: &str) {

@@ -42,6 +42,10 @@ pub const ABLATION_FAILURES_PROCESS: u64 = 0xF411;
 pub const ABLATION_DOWNLINK: u64 = 0xABA;
 /// Ablation: cost of coverage (subset sampling).
 pub const ABLATION_ECONOMICS: u64 = 0xABE;
+/// Traffic engine: diurnal demand run (subset sampling + demand jitter).
+pub const TRAFFIC: u64 = 0x7AF1C;
+/// Ablation: demand-scale sweep over the traffic engine.
+pub const ABLATION_TRAFFIC_MIX: u64 = 0x7AF2;
 
 /// Every seed above, labelled. The registry records these in each
 /// experiment's JSON result and the test below keeps them distinct.
@@ -63,6 +67,8 @@ pub const ALL: &[(&str, u64)] = &[
     ("ablation_failures_process", ABLATION_FAILURES_PROCESS),
     ("ablation_downlink", ABLATION_DOWNLINK),
     ("ablation_economics", ABLATION_ECONOMICS),
+    ("traffic_diurnal", TRAFFIC),
+    ("ablation_traffic_mix", ABLATION_TRAFFIC_MIX),
 ];
 
 #[cfg(test)]

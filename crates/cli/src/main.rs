@@ -8,6 +8,7 @@
 //! * `screen`   — conjunction screening of a constellation
 //! * `sla`      — quote the sellable service tier for a point
 //! * `cities`   — print the embedded 21-city dataset
+//! * `traffic`  — route diurnal metro demand and summarize the market
 //! * `node`     — run a live coordination-protocol node over TCP
 //! * `experiments` — run the paper's figure/ablation suite in one process
 //!
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         Some("screen") => commands::screen(&parsed),
         Some("sla") => commands::sla(&parsed),
         Some("cities") => commands::cities(&parsed),
+        Some("traffic") => commands::traffic(&parsed),
         Some("map") => commands::map(&parsed),
         Some("audit") => commands::audit(&parsed),
         Some("manifest") => commands::manifest(&parsed),
@@ -89,6 +91,13 @@ COMMANDS:
                 --ephemeris-cache PATH (reuse pool ephemerides on disk)
                 --threads N (0 = auto)
     cities    print the embedded 21-city dataset
+    traffic   route diurnal metro demand over a shared constellation
+                --sats N (300) --hours H (12) --step S (600)
+                --parties P (3) --gateway-stride K (3)
+                --isl-range KM (3000) --max-hops N (1) --scale F (1)
+                --mask DEG (25)
+                --ephemeris-cache PATH (reuse pool ephemerides on disk)
+                --threads N (0 = auto)
     map       ASCII world map of coverage fraction
                 --sats N (200) --hours H (12) --mask DEG (25)
                 --rows R (18) --cols C (72)

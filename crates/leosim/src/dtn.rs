@@ -109,7 +109,7 @@ pub fn dtn_stats(deliveries: &[Delivery], grid: &TimeGrid) -> DtnStats {
         .filter_map(|d| d.latency_steps())
         .map(|s| s as f64 * grid.step_s)
         .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies.sort_by(f64::total_cmp);
     let delivered = latencies.len();
     DtnStats {
         created,

@@ -60,6 +60,9 @@ pub struct EphemerisStore {
     z: Vec<f64>,
 }
 
+/// One per-chunk propagation job: a satellite slice plus its x/y/z columns.
+type ChunkJob<'a> = (&'a [Satellite], &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+
 impl EphemerisStore {
     /// Propagate `sats` over `grid` and materialize the columnar table.
     ///
@@ -78,7 +81,7 @@ impl EphemerisStore {
         // Pre-split the columns into per-chunk jobs, then run the jobs on
         // the shared simrt pool. The partitioning (and hence every floating
         // point result) is identical to the old scoped-thread version.
-        let mut jobs: Vec<(&[Satellite], &mut [f64], &mut [f64], &mut [f64])> = Vec::new();
+        let mut jobs: Vec<ChunkJob<'_>> = Vec::new();
         {
             let mut xs_rest: &mut [f64] = &mut x;
             let mut ys_rest: &mut [f64] = &mut y;
@@ -269,7 +272,8 @@ impl EphemerisStore {
         let step_s = f64::from_bits(read_u64(&mut r)?);
         let jdm = f64::from_bits(read_u64(&mut r)?);
         let sod = f64::from_bits(read_u64(&mut r)?);
-        if steps == 0 || !(step_s > 0.0) || !jdm.is_finite() || !sod.is_finite() {
+        let step_positive = step_s.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if steps == 0 || !step_positive || !jdm.is_finite() || !sod.is_finite() {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt ephemeris header"));
         }
         let grid = TimeGrid::with_steps(Epoch::from_jd_parts(jdm, sod), steps, step_s);

@@ -46,14 +46,20 @@ impl LatencySeries {
         }
     }
 
-    /// Delay percentile over connected steps (q in [0, 1]).
+    /// Delay percentile over connected steps, nearest-rank convention:
+    /// the connected delays are sorted and the sample at (0-based) index
+    /// `round((n - 1) * q)` is returned — always an observed value, never
+    /// an interpolation. Returns `None` when `q` is outside `[0, 1]` or
+    /// no step is connected.
     pub fn percentile_ms(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q));
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
         let mut connected: Vec<f64> = self.delay_ms.iter().flatten().cloned().collect();
         if connected.is_empty() {
             return None;
         }
-        connected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        connected.sort_by(f64::total_cmp);
         let idx = ((connected.len() - 1) as f64 * q).round() as usize;
         Some(connected[idx])
     }
@@ -185,6 +191,28 @@ mod tests {
         assert_eq!(s.availability(), 0.0);
         assert!(s.mean_ms().is_none());
         assert!(s.percentile_ms(0.5).is_none());
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range_q() {
+        let s = LatencySeries { delay_ms: vec![Some(5.0), Some(7.0), None], step_s: 60.0 };
+        assert!(s.percentile_ms(-0.01).is_none());
+        assert!(s.percentile_ms(1.01).is_none());
+        assert!(s.percentile_ms(f64::NAN).is_none());
+        // In-range q still answers on the same series.
+        assert_eq!(s.percentile_ms(0.0), Some(5.0));
+        assert_eq!(s.percentile_ms(1.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank_picks_observed_values() {
+        // Nearest rank: with n = 3 samples, q = 0.5 maps to index
+        // round(2 * 0.5) = 1 — the middle observation, never an average.
+        let s =
+            LatencySeries { delay_ms: vec![Some(4.0), Some(6.0), Some(10.0)], step_s: 60.0 };
+        assert_eq!(s.percentile_ms(0.5), Some(6.0));
+        // q = 0.75 maps to round(1.5) = 2.
+        assert_eq!(s.percentile_ms(0.75), Some(10.0));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn region_coverage(
         stats.iter().map(|s| s.covered_fraction).sum::<f64>() / stats.len() as f64;
     let worst = stats
         .iter()
-        .min_by(|a, b| a.covered_fraction.partial_cmp(&b.covered_fraction).unwrap())
+        .min_by(|a, b| a.covered_fraction.total_cmp(&b.covered_fraction))
         .expect("grid is non-empty");
     // Simultaneous coverage: AND of all receiver unions.
     let mut simultaneous = crate::TimeBitset::ones(time.steps);

@@ -66,10 +66,12 @@ impl Assignment {
         }
     }
 
-    /// Spare capacity of the whole subset in terminal-steps.
+    /// Spare capacity of the whole subset in terminal-steps. Saturates at
+    /// zero when the recorded load exceeds the nominal capacity (e.g. an
+    /// assignment replayed against a shorter grid).
     pub fn spare_capacity_steps(&self, steps: usize) -> usize {
         let total = self.config.terminals_per_sat * self.sat_indices.len() * steps;
-        total - self.load.iter().sum::<usize>()
+        total.saturating_sub(self.load.iter().sum::<usize>())
     }
 }
 
@@ -250,6 +252,57 @@ mod tests {
             let u = a.utilization(pos, steps);
             assert!((0.0..=1.0).contains(&u), "utilization {u}");
         }
+    }
+
+    /// A hand-built assignment for edge cases no scheduler run produces.
+    fn manual_assignment(load: Vec<usize>, demand: usize, served: usize) -> Assignment {
+        let sat_indices: Vec<usize> = (0..load.len()).collect();
+        Assignment {
+            served: Vec::new(),
+            load,
+            config: CapacityConfig { terminals_per_sat: 2 },
+            sat_indices,
+            demand_steps: demand,
+            served_steps: served,
+        }
+    }
+
+    #[test]
+    fn service_ratio_with_no_demand_is_one() {
+        let a = manual_assignment(vec![0, 0], 0, 0);
+        assert_eq!(a.service_ratio(), 1.0, "no demand means nothing went unserved");
+    }
+
+    #[test]
+    fn spare_capacity_saturates_when_load_exceeds_capacity() {
+        // 2 sats x 2 terminals x 3 steps = 12 capacity-steps, load 20:
+        // the subtraction must saturate at zero, not wrap.
+        let a = manual_assignment(vec![12, 8], 20, 20);
+        assert_eq!(a.spare_capacity_steps(3), 0);
+        // And with zero steps, any recorded load still yields zero spare.
+        assert_eq!(a.spare_capacity_steps(0), 0);
+    }
+
+    #[test]
+    fn utilization_on_zero_step_grid_is_zero() {
+        let a = manual_assignment(vec![4, 0], 0, 0);
+        assert_eq!(a.utilization(0, 0), 0.0, "zero-step grids have no capacity to use");
+        assert_eq!(a.utilization(1, 0), 0.0);
+    }
+
+    #[test]
+    fn party_report_on_zero_step_grid() {
+        let a = manual_assignment(vec![3, 5], 0, 0);
+        let owner: HashMap<usize, PartyId> =
+            [(0, PartyId::new("p0")), (1, PartyId::new("p1"))].into_iter().collect();
+        let report = utilization_by_party(&a, 0, &owner);
+        assert_eq!(report.len(), 2);
+        for r in &report {
+            assert_eq!(r.mean_utilization, 0.0, "{}: no steps, no utilization", r.party);
+        }
+        // Carried steps still aggregate the recorded load.
+        let total: usize = report.iter().map(|r| r.carried_steps).sum();
+        assert_eq!(total, 8);
     }
 
     #[test]

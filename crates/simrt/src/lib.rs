@@ -108,7 +108,7 @@ impl std::error::Error for InvalidThreads {}
 pub fn env_threads(value: Option<&str>) -> Result<Option<usize>, InvalidThreads> {
     let v = match value {
         None => return Ok(None),
-        Some(v) if v.is_empty() => return Ok(None),
+        Some("") => return Ok(None),
         Some(v) => v,
     };
     match v.parse::<usize>() {

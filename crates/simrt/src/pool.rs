@@ -216,7 +216,7 @@ fn run_scope(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
         .map(|_| {
             Arc::new(HelperSlot {
                 state: AtomicU8::new(QUEUED),
-                job: &core as *const JobCore<'_> as *const JobCore<'static>,
+                job: (&core as *const JobCore<'_>).cast::<JobCore<'static>>(),
                 submitted: Instant::now(),
                 done: Mutex::new(false),
                 cv: Condvar::new(),
@@ -341,7 +341,7 @@ where
 {
     assert!(chunk > 0, "chunk size must be positive");
     let mut chunks: Vec<&mut [T]> = items.chunks_mut(chunk).collect();
-    par_for_each_mut(&mut chunks, cap, |i, slice| f(i, &mut **slice));
+    par_for_each_mut(&mut chunks, cap, |i, slice| f(i, slice));
 }
 
 #[cfg(test)]

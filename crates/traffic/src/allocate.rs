@@ -1,0 +1,245 @@
+//! Max-min-fair flow allocation (progressive filling).
+//!
+//! At each step every routed city wants its offered load; the flows share
+//! the access satellite's throughput and the landing gateway's backhaul.
+//! The allocator implements the textbook progressive-filling algorithm:
+//! all active flows grow at the same rate until either a flow reaches its
+//! own cap (offered load or access-link capacity) or a shared resource
+//! saturates, freezing every flow crossing it. The result is the unique
+//! max-min-fair allocation for this resource model.
+//!
+//! The per-step computation is strictly sequential (city order, then
+//! sorted resource order), so a step's output is a pure function of its
+//! inputs; the engine fans steps out over `simrt` and collects them in
+//! step order — byte-identical at any thread count.
+
+use crate::graph::StepRoutes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Allocation result for one step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepAllocation {
+    /// Served rate per city, Mbps (0 when unrouted).
+    pub served_mbps: Vec<f64>,
+    /// Traffic carried per access satellite, Mbps (store row → rate).
+    pub sat_carried: BTreeMap<usize, f64>,
+    /// Traffic landed per gateway, Mbps.
+    pub gateway_carried: Vec<f64>,
+}
+
+impl StepAllocation {
+    /// Total served rate, Mbps.
+    pub fn total_served(&self) -> f64 {
+        self.served_mbps.iter().sum()
+    }
+}
+
+/// Progressive-filling allocation of `offered` (Mbps per city) over the
+/// step's routes, subject to per-satellite and per-gateway capacity.
+pub fn allocate_step(
+    offered: &[f64],
+    routes: &StepRoutes,
+    sat_capacity_mbps: f64,
+    gateway_capacity_mbps: f64,
+    n_gateways: usize,
+) -> StepAllocation {
+    assert_eq!(offered.len(), routes.routes.len(), "city sets differ");
+    const EPS: f64 = 1e-9;
+
+    let n = offered.len();
+    let mut rate = vec![0.0f64; n];
+    // Individual cap: offered load and the city's own access-link bound.
+    let caps: Vec<f64> = (0..n)
+        .map(|c| match &routes.routes[c] {
+            Some(r) => offered[c].min(r.access_mbps).max(0.0),
+            None => 0.0,
+        })
+        .collect();
+    let mut active: Vec<bool> = (0..n).map(|c| caps[c] > EPS).collect();
+
+    // Shared resources: remaining capacity + member cities (sorted orders
+    // keep every float reduction deterministic).
+    let mut sat_left: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut sat_members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut gw_left = vec![gateway_capacity_mbps; n_gateways];
+    let mut gw_members: Vec<Vec<usize>> = vec![Vec::new(); n_gateways];
+    for (c, &is_active) in active.iter().enumerate() {
+        if !is_active {
+            continue;
+        }
+        let r = routes.routes[c].as_ref().expect("active implies routed");
+        sat_left.entry(r.sat).or_insert(sat_capacity_mbps);
+        sat_members.entry(r.sat).or_default().push(c);
+        gw_members[r.gateway].push(c);
+    }
+
+    // Progressive filling: at most one flow or one resource freezes per
+    // round, so the loop is bounded by cities + resources.
+    for _round in 0..(n + sat_left.len() + n_gateways + 1) {
+        let live: Vec<usize> = (0..n).filter(|&c| active[c]).collect();
+        if live.is_empty() {
+            break;
+        }
+        // Largest uniform increment every live flow can take.
+        let mut delta = f64::INFINITY;
+        for &c in &live {
+            delta = delta.min(caps[c] - rate[c]);
+        }
+        for (&s, &left) in &sat_left {
+            let users = sat_members[&s].iter().filter(|&&c| active[c]).count();
+            if users > 0 {
+                delta = delta.min(left / users as f64);
+            }
+        }
+        for (g, &left) in gw_left.iter().enumerate() {
+            let users = gw_members[g].iter().filter(|&&c| active[c]).count();
+            if users > 0 {
+                delta = delta.min(left / users as f64);
+            }
+        }
+        if !delta.is_finite() || delta < 0.0 {
+            break;
+        }
+        // Apply the increment and charge the shared resources.
+        for &c in &live {
+            rate[c] += delta;
+            let r = routes.routes[c].as_ref().expect("live implies routed");
+            *sat_left.get_mut(&r.sat).expect("registered") -= delta;
+            gw_left[r.gateway] -= delta;
+        }
+        // Freeze flows at their individual cap, then flows on a saturated
+        // resource.
+        for &c in &live {
+            if caps[c] - rate[c] <= EPS {
+                active[c] = false;
+            }
+        }
+        for (&s, &left) in &sat_left {
+            if left <= EPS {
+                for &c in &sat_members[&s] {
+                    active[c] = false;
+                }
+            }
+        }
+        for (g, &left) in gw_left.iter().enumerate() {
+            if left <= EPS {
+                for &c in &gw_members[g] {
+                    active[c] = false;
+                }
+            }
+        }
+        if delta <= EPS {
+            break;
+        }
+    }
+
+    let mut sat_carried: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut gateway_carried = vec![0.0f64; n_gateways];
+    for (c, &r_mbps) in rate.iter().enumerate() {
+        if r_mbps > 0.0 {
+            let r = routes.routes[c].as_ref().expect("rate implies routed");
+            *sat_carried.entry(r.sat).or_insert(0.0) += r_mbps;
+            gateway_carried[r.gateway] += r_mbps;
+        }
+    }
+    StepAllocation { served_mbps: rate, sat_carried, gateway_carried }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Route;
+
+    fn route(sat: usize, gateway: usize, access_mbps: f64) -> Option<Route> {
+        Some(Route {
+            sat,
+            gateway,
+            hops: 0,
+            path_km: 1000.0,
+            latency_ms: 5.0,
+            access_mbps,
+        })
+    }
+
+    #[test]
+    fn unconstrained_serves_everything() {
+        let routes = StepRoutes { routes: vec![route(0, 0, 1e9), route(1, 0, 1e9)] };
+        let a = allocate_step(&[100.0, 50.0], &routes, 1e9, 1e9, 1);
+        assert!((a.served_mbps[0] - 100.0).abs() < 1e-6);
+        assert!((a.served_mbps[1] - 50.0).abs() < 1e-6);
+        assert!((a.gateway_carried[0] - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_satellite_splits_fairly() {
+        // Two equal flows on one satellite of capacity 100: 50 each.
+        let routes = StepRoutes { routes: vec![route(7, 0, 1e9), route(7, 0, 1e9)] };
+        let a = allocate_step(&[500.0, 500.0], &routes, 100.0, 1e9, 1);
+        assert!((a.served_mbps[0] - 50.0).abs() < 1e-6, "{:?}", a.served_mbps);
+        assert!((a.served_mbps[1] - 50.0).abs() < 1e-6);
+        assert!((a.sat_carried[&7] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_redistributes_slack() {
+        // A small flow (10) and a big one share a 100-capacity satellite:
+        // max-min gives the big flow the leftover 90, not just 50.
+        let routes = StepRoutes { routes: vec![route(0, 0, 1e9), route(0, 0, 1e9)] };
+        let a = allocate_step(&[10.0, 500.0], &routes, 100.0, 1e9, 1);
+        assert!((a.served_mbps[0] - 10.0).abs() < 1e-6);
+        assert!((a.served_mbps[1] - 90.0).abs() < 1e-6, "{:?}", a.served_mbps);
+    }
+
+    #[test]
+    fn gateway_bottleneck_caps_the_sum() {
+        // Three flows on distinct satellites land on one 60-Mbps gateway.
+        let routes =
+            StepRoutes { routes: vec![route(0, 0, 1e9), route(1, 0, 1e9), route(2, 0, 1e9)] };
+        let a = allocate_step(&[100.0, 100.0, 100.0], &routes, 1e9, 60.0, 1);
+        for r in &a.served_mbps {
+            assert!((r - 20.0).abs() < 1e-6, "{:?}", a.served_mbps);
+        }
+        assert!((a.gateway_carried[0] - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn access_link_bounds_a_single_flow() {
+        let routes = StepRoutes { routes: vec![route(0, 0, 30.0)] };
+        let a = allocate_step(&[100.0], &routes, 1e9, 1e9, 1);
+        assert!((a.served_mbps[0] - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unrouted_cities_get_nothing() {
+        let routes = StepRoutes { routes: vec![None, route(0, 0, 1e9)] };
+        let a = allocate_step(&[100.0, 100.0], &routes, 1e9, 1e9, 1);
+        assert_eq!(a.served_mbps[0], 0.0);
+        assert!(a.served_mbps[1] > 0.0);
+    }
+
+    #[test]
+    fn served_never_exceeds_offered_or_capacity() {
+        // A mixed scenario; spot-check global invariants.
+        let routes = StepRoutes {
+            routes: vec![
+                route(0, 0, 200.0),
+                route(0, 1, 1e9),
+                route(1, 0, 1e9),
+                None,
+                route(1, 1, 50.0),
+            ],
+        };
+        let offered = [120.0, 300.0, 80.0, 10.0, 500.0];
+        let a = allocate_step(&offered, &routes, 250.0, 260.0, 2);
+        for (c, r) in a.served_mbps.iter().enumerate() {
+            assert!(*r <= offered[c] + 1e-6, "city {c} over-served");
+        }
+        for (&s, &carried) in &a.sat_carried {
+            assert!(carried <= 250.0 + 1e-6, "sat {s} over capacity: {carried}");
+        }
+        for (g, &carried) in a.gateway_carried.iter().enumerate() {
+            assert!(carried <= 260.0 + 1e-6, "gateway {g} over capacity: {carried}");
+        }
+    }
+}

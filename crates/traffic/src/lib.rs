@@ -1,0 +1,43 @@
+//! # traffic — the demand-driven traffic engine
+//!
+//! The paper's economic claim (parties trade *spare capacity* and the
+//! constellation stays useful as participants churn, §1–2) is only as
+//! credible as the load model behind it. This crate supplies that model:
+//!
+//! 1. [`demand`] — diurnal per-city offered load (Mbps) derived from the
+//!    `geodata` populations: millions of users per metro, a local-solar-time
+//!    diurnal shape, and seeded per-city jitter;
+//! 2. [`graph`] — a per-step routing snapshot over a prebuilt
+//!    [`leosim::ephemeris::EphemerisStore`]: terminal → satellite uplink,
+//!    optional ISL hops, satellite → ground-station downlink, with link
+//!    capacities from [`leosim::linkbudget`];
+//! 3. [`allocate`] — a max-min-fair (progressive-filling) flow allocator
+//!    producing per-city served throughput under shared satellite and
+//!    gateway capacity;
+//! 4. [`engine`] — the driver tying the three together into a
+//!    [`engine::TrafficReport`] (served/offered, drop rate, latency under
+//!    load, per-party accounting);
+//! 5. [`market`] — the epoch summarizer converting each party's
+//!    surplus/deficit into signed [`dcp`] market orders, so the capacity
+//!    market runs on demand-driven order flow.
+//!
+//! Everything is deterministic: demand jitter comes from per-city seeded
+//! streams, routing and allocation are pure functions of the ephemeris, and
+//! the per-step fan-out runs on `simrt` with order-preserving collection —
+//! results are byte-identical at any thread count.
+
+pub mod allocate;
+pub mod demand;
+pub mod engine;
+pub mod graph;
+pub mod market;
+
+pub use allocate::StepAllocation;
+pub use demand::{DemandConfig, DemandMatrix};
+pub use engine::{
+    run_traffic, run_traffic_with_routes, PartyTraffic, TrafficConfig, TrafficReport,
+};
+pub use graph::{gateways_every_nth, GraphConfig, Route, RouteTable};
+pub use market::{
+    clear_market, epoch_orders, party_keys, summarize_epochs, EpochSummary, PartyEpoch,
+};

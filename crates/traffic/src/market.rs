@@ -1,0 +1,258 @@
+//! Demand-driven market order flow.
+//!
+//! The paper's capacity market (§3.2) trades spare terminal capacity
+//! between parties. Earlier experiments fed the order book synthetic
+//! orders; this module derives them from the traffic engine instead: the
+//! horizon is cut into epochs, each party's traffic is summarized per
+//! epoch, and a deficit (unserved demand of its cities) becomes a bid
+//! while a surplus (unused capacity of its engaged satellites) becomes an
+//! ask. Ask prices rise with the seller's utilization and always sit
+//! below the bid price, so books with both sides present clear — at the
+//! resting order's price, like every other `dcp::market` participant.
+
+use crate::engine::TrafficReport;
+use dcp::crypto::KeyDirectory;
+use dcp::market::{make_order, OrderBook};
+use dcp::messages::MarketOrder;
+use mpleo::party::PartyId;
+use serde::{Deserialize, Serialize};
+
+/// One party's traffic position over an epoch (epoch means, Mbps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartyEpoch {
+    /// The party.
+    pub party: PartyId,
+    /// Mean offered load of the party's cities.
+    pub offered_mbps: f64,
+    /// Mean served load of the party's cities.
+    pub served_mbps: f64,
+    /// Mean traffic carried by the party's satellites.
+    pub carried_mbps: f64,
+    /// Mean unused capacity of the party's engaged satellites.
+    pub spare_mbps: f64,
+}
+
+impl PartyEpoch {
+    /// Unserved demand (the party's buying interest), Mbps.
+    pub fn deficit_mbps(&self) -> f64 {
+        (self.offered_mbps - self.served_mbps).max(0.0)
+    }
+
+    /// Utilization of the party's engaged capacity, `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let engaged = self.carried_mbps + self.spare_mbps;
+        if engaged <= 0.0 {
+            0.0
+        } else {
+            self.carried_mbps / engaged
+        }
+    }
+}
+
+/// Per-epoch market inputs for every party.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSummary {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// First grid step of the epoch.
+    pub start_step: usize,
+    /// Steps covered (the last epoch may be short).
+    pub steps: usize,
+    /// Per-party positions, report party order.
+    pub per_party: Vec<PartyEpoch>,
+}
+
+/// Cut the report's horizon into epochs of `epoch_steps` grid steps and
+/// average each party's series within each epoch.
+pub fn summarize_epochs(report: &TrafficReport, epoch_steps: usize) -> Vec<EpochSummary> {
+    assert!(epoch_steps >= 1, "epochs need at least one step");
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < report.steps {
+        let len = epoch_steps.min(report.steps - start);
+        let per_party = report
+            .parties
+            .iter()
+            .enumerate()
+            .map(|(p, party)| {
+                let mean = |series: &[f64]| {
+                    series[p * report.steps + start..p * report.steps + start + len]
+                        .iter()
+                        .sum::<f64>()
+                        / len as f64
+                };
+                PartyEpoch {
+                    party: party.clone(),
+                    offered_mbps: mean(&report.party_offered),
+                    served_mbps: mean(&report.party_served),
+                    carried_mbps: mean(&report.party_carried),
+                    spare_mbps: mean(&report.party_spare),
+                }
+            })
+            .collect();
+        out.push(EpochSummary { epoch: out.len(), start_step: start, steps: len, per_party });
+        start += len;
+    }
+    out
+}
+
+/// Convert epoch summaries into signed orders: one bid per (epoch, party)
+/// with a deficit of at least 1 Mbps, one ask per (epoch, party) with at
+/// least 1 Mbps of spare. Quantities are Mbps rounded to integers; prices
+/// are credits per Mbps-epoch. Sequence numbers encode (epoch, party,
+/// side) so replays are idempotent and ordering is deterministic.
+pub fn epoch_orders(
+    summaries: &[EpochSummary],
+    keys: &KeyDirectory,
+    base_price: f64,
+) -> Vec<MarketOrder> {
+    assert!(base_price > 0.0, "price must be positive");
+    let mut orders = Vec::new();
+    for summary in summaries {
+        let parties = summary.per_party.len() as u64;
+        for (p, pe) in summary.per_party.iter().enumerate() {
+            let seq_base = (summary.epoch as u64 * parties + p as u64) * 2;
+            let deficit = pe.deficit_mbps();
+            if deficit >= 1.0 {
+                // Buyers pay a premium over any ask the book can hold.
+                let price = round2(base_price * 1.5);
+                if let Some(o) =
+                    make_order(keys, &pe.party.0, true, price, deficit.round() as u64, seq_base)
+                {
+                    orders.push(o);
+                }
+            }
+            if pe.spare_mbps >= 1.0 {
+                // Busier sellers ask more; the range [0.6, 1.0] × base
+                // stays strictly below the 1.5 × base bids.
+                let price = round2(base_price * (0.6 + 0.4 * pe.utilization()));
+                if let Some(o) = make_order(
+                    keys,
+                    &pe.party.0,
+                    false,
+                    price,
+                    pe.spare_mbps.round() as u64,
+                    seq_base + 1,
+                ) {
+                    orders.push(o);
+                }
+            }
+        }
+    }
+    orders
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Run the orders through a fresh deterministic book, in submission order.
+pub fn clear_market(orders: &[MarketOrder]) -> OrderBook {
+    let mut book = OrderBook::new();
+    for o in orders {
+        book.submit(o.clone());
+    }
+    book
+}
+
+/// Register every party's derived signing key in a fresh directory
+/// (deterministic: party name + the shared seed material).
+pub fn party_keys(parties: &[PartyId], seed: &[u8]) -> KeyDirectory {
+    let mut keys = KeyDirectory::new();
+    for p in parties {
+        keys.register_derived(&p.0, seed);
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_two_parties() -> TrafficReport {
+        // Hand-built report: party 0 is short (offered 100, served 40),
+        // party 1 is long (spare 500, carries 60).
+        let steps = 4;
+        TrafficReport {
+            cities: vec!["A".into(), "B".into()],
+            parties: vec![PartyId::new("short"), PartyId::new("long")],
+            steps,
+            step_s: 600.0,
+            offered_mean_mbps: vec![100.0, 10.0],
+            served_mean_mbps: vec![40.0, 10.0],
+            latency: vec![],
+            total_offered_steps: vec![110.0; steps],
+            total_served_steps: vec![50.0; steps],
+            party_offered: [vec![100.0; steps], vec![10.0; steps]].concat(),
+            party_served: [vec![40.0; steps], vec![10.0; steps]].concat(),
+            party_carried: [vec![0.0; steps], vec![60.0; steps]].concat(),
+            party_spare: [vec![0.0; steps], vec![500.0; steps]].concat(),
+        }
+    }
+
+    #[test]
+    fn epochs_cover_the_horizon() {
+        let r = report_two_parties();
+        let s = summarize_epochs(&r, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].steps, 3);
+        assert_eq!(s[1].steps, 1, "tail epoch is short");
+        assert_eq!(s[0].per_party[0].deficit_mbps(), 60.0);
+        assert_eq!(s[0].per_party[1].spare_mbps, 500.0);
+    }
+
+    #[test]
+    fn deficit_becomes_bid_and_spare_becomes_ask() {
+        let r = report_two_parties();
+        let parties = r.parties.clone();
+        let keys = party_keys(&parties, b"traffic-test");
+        let orders = epoch_orders(&summarize_epochs(&r, 4), &keys, 1.0);
+        let bids: Vec<_> = orders.iter().filter(|o| o.is_bid).collect();
+        let asks: Vec<_> = orders.iter().filter(|o| !o.is_bid).collect();
+        assert_eq!(bids.len(), 1);
+        assert_eq!(bids[0].party, "short");
+        assert_eq!(bids[0].quantity, 60);
+        assert_eq!(asks.len(), 1);
+        assert_eq!(asks[0].party, "long");
+        assert_eq!(asks[0].quantity, 500);
+        assert!(asks[0].price < bids[0].price, "books must cross");
+        // Signatures verify against the directory.
+        for o in &orders {
+            assert!(dcp::market::verify_order(&keys, o));
+        }
+    }
+
+    #[test]
+    fn market_clears_zero_sum() {
+        let r = report_two_parties();
+        let keys = party_keys(&r.parties, b"traffic-test");
+        let orders = epoch_orders(&summarize_epochs(&r, 2), &keys, 1.0);
+        let book = clear_market(&orders);
+        assert!(!book.trades().is_empty(), "crossed orders must trade");
+        let net: f64 = book.settlement().values().sum();
+        assert!(net.abs() < 1e-9, "settlement must be zero-sum: {net}");
+        // The short party buys, the long party sells.
+        let s = book.settlement();
+        assert!(s["short"] < 0.0);
+        assert!(s["long"] > 0.0);
+    }
+
+    #[test]
+    fn balanced_party_stays_out_of_the_market() {
+        let mut r = report_two_parties();
+        // Make party 0 perfectly served and without satellites.
+        r.party_served = r.party_offered.clone();
+        let keys = party_keys(&r.parties, b"traffic-test");
+        let orders = epoch_orders(&summarize_epochs(&r, 4), &keys, 1.0);
+        assert!(orders.iter().all(|o| o.party != "short"));
+    }
+
+    #[test]
+    fn order_flow_is_deterministic() {
+        let r = report_two_parties();
+        let keys = party_keys(&r.parties, b"traffic-test");
+        let a = epoch_orders(&summarize_epochs(&r, 2), &keys, 1.0);
+        let b = epoch_orders(&summarize_epochs(&r, 2), &keys, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -10,7 +10,7 @@ use mpleo_bench::Fidelity;
 use std::fs;
 use std::path::PathBuf;
 
-const EXPERIMENTS: [&str; 2] = ["fig2", "ablation_elevation"];
+const EXPERIMENTS: [&str; 3] = ["fig2", "ablation_elevation", "traffic_diurnal"];
 
 /// Run the quick-fidelity subset at a thread count and return, per
 /// experiment id, the pretty JSON with `timing` zeroed out.
