@@ -23,11 +23,8 @@ fn bench_store_build(c: &mut Criterion) {
     let cfg = SimConfig::default();
     let mut g = c.benchmark_group("ephemeris_store_build_6h");
     for sats in [50u32, 200] {
-        let spec = ShellSpec {
-            planes: sats / 10,
-            sats_per_plane: 10,
-            ..ShellSpec::starlink_like()
-        };
+        let spec =
+            ShellSpec { planes: sats / 10, sats_per_plane: 10, ..ShellSpec::starlink_like() };
         let constellation = walker_delta(&spec, epoch());
         g.bench_with_input(BenchmarkId::from_parameter(sats), &constellation, |b, cons| {
             b.iter(|| std::hint::black_box(EphemerisStore::build(cons, &grid, &cfg)))
@@ -45,11 +42,8 @@ fn bench_visibility_from_store(c: &mut Criterion) {
     let cfg = SimConfig::default();
     let mut g = c.benchmark_group("visibility_from_store_6h_21cities");
     for sats in [50u32, 200] {
-        let spec = ShellSpec {
-            planes: sats / 10,
-            sats_per_plane: 10,
-            ..ShellSpec::starlink_like()
-        };
+        let spec =
+            ShellSpec { planes: sats / 10, sats_per_plane: 10, ..ShellSpec::starlink_like() };
         let constellation = walker_delta(&spec, epoch());
         let store = EphemerisStore::build(&constellation, &grid, &cfg);
         g.bench_with_input(BenchmarkId::from_parameter(sats), &store, |b, store| {

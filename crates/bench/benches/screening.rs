@@ -16,11 +16,7 @@ fn epoch() -> Epoch {
 fn bench_screening(c: &mut Criterion) {
     let mut g = c.benchmark_group("conjunction_screen_6h");
     for sats in [36u32, 100] {
-        let spec = ShellSpec {
-            planes: sats / 6,
-            sats_per_plane: 6,
-            ..ShellSpec::starlink_like()
-        };
+        let spec = ShellSpec { planes: sats / 6, sats_per_plane: 6, ..ShellSpec::starlink_like() };
         let els: Vec<ClassicalElements> =
             walker_delta(&spec, epoch()).iter().map(|s| s.elements).collect();
         g.bench_with_input(BenchmarkId::from_parameter(sats), &els, |b, els| {
@@ -41,7 +37,8 @@ fn bench_od(c: &mut Criterion) {
     let truth = ClassicalElements::circular(550.0, 53f64.to_radians(), 2.0, 0.5);
     let site = GroundSite::from_degrees("gs", 25.0, 121.5);
     let obs = synthesize_observations(&truth, epoch(), &site, 43_200.0, 60.0, 10.0, 0.1, 9);
-    let initial = ClassicalElements { semi_major_axis_km: truth.semi_major_axis_km + 15.0, ..truth };
+    let initial =
+        ClassicalElements { semi_major_axis_km: truth.semi_major_axis_km + 15.0, ..truth };
     c.bench_function("od_fit_halfday_ranges", |b| {
         b.iter(|| std::hint::black_box(fit_elements(&initial, epoch(), &site, &obs).unwrap()))
     });

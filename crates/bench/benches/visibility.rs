@@ -16,11 +16,8 @@ fn bench_table(c: &mut Criterion) {
     let grid = TimeGrid::new(epoch(), 6.0 * 3600.0, 120.0);
     let mut g = c.benchmark_group("visibility_table_6h_21cities");
     for sats in [50u32, 200] {
-        let spec = ShellSpec {
-            planes: sats / 10,
-            sats_per_plane: 10,
-            ..ShellSpec::starlink_like()
-        };
+        let spec =
+            ShellSpec { planes: sats / 10, sats_per_plane: 10, ..ShellSpec::starlink_like() };
         let constellation = walker_delta(&spec, epoch());
         g.bench_with_input(BenchmarkId::from_parameter(sats), &constellation, |b, cons| {
             b.iter(|| {

@@ -46,9 +46,7 @@ fn bench_signing(c: &mut Criterion) {
     let k = keys();
     c.bench_function("hmac_sign_receipt", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                CoverageReceipt::create(&k, 1, "gs", "owner", 60.0, 45.0).unwrap(),
-            )
+            std::hint::black_box(CoverageReceipt::create(&k, 1, "gs", "owner", 60.0, 45.0).unwrap())
         })
     });
     c.bench_function("sha256_1kib", |b| {

@@ -1,0 +1,9 @@
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::ablation_churn_rate`; this binary is kept
+//! for CLI compatibility. Prefer `--bin suite --only ablation_churn_rate`
+//! (or `mpleo experiments`) to run several experiments over one shared
+//! context.
+
+fn main() {
+    mpleo_bench::runner::main_for("ablation_churn_rate");
+}

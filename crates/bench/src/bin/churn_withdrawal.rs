@@ -1,0 +1,9 @@
+//! Thin shim: the implementation lives in
+//! `mpleo_bench::experiments::churn_withdrawal`; this binary is kept for
+//! CLI compatibility. Prefer `--bin suite --only churn_withdrawal` (or
+//! `mpleo experiments`) to run several experiments over one shared
+//! context.
+
+fn main() {
+    mpleo_bench::runner::main_for("churn_withdrawal");
+}

@@ -133,8 +133,7 @@ impl Experiment for AblationBootstrap {
             if name == "tokens_with_bonus" && out.balances["round4"] > 0.0 {
                 ratio = out.balances["round0"] / out.balances["round4"];
             }
-            let coverage_pct =
-                out.rounds.last().unwrap().coverage_s / vt.grid.duration_s() * 100.0;
+            let coverage_pct = out.rounds.last().unwrap().coverage_s / vt.grid.duration_s() * 100.0;
             rows.push(vec!["final coverage".into(), format!("{coverage_pct:.1}% pop-weighted")]);
             result = result
                 .series(name, parties.iter().map(|p| out.balances[*p]).collect())

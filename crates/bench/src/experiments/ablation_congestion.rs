@@ -89,12 +89,8 @@ impl Experiment for AblationCongestion {
 
         // Shared: one coordinated 120-satellite Walker shell. Its internal
         // separations are locked by design + station-keeping.
-        let shared_spec = ShellSpec {
-            planes: 12,
-            sats_per_plane: 10,
-            phasing: 1,
-            ..ShellSpec::starlink_like()
-        };
+        let shared_spec =
+            ShellSpec { planes: 12, sats_per_plane: 10, phasing: 1, ..ShellSpec::starlink_like() };
         let shared: Vec<ClassicalElements> =
             walker_delta(&shared_spec, epoch).iter().map(|s| s.elements).collect();
         let shared_conj = screen_all_pairs(&shared, epoch, window, &cfg);
@@ -163,7 +159,12 @@ impl Experiment for AblationCongestion {
             .series("closest_cross_operator_km", closest_per_state)
             .table(
                 "congestion",
-                &["scenario", "worst closest approach (km)", "median (km)", "states with <25 km pass"],
+                &[
+                    "scenario",
+                    "worst closest approach (km)",
+                    "median (km)",
+                    "states with <25 km pass",
+                ],
                 rows,
             )
             .note("takeaway: the coordinated shell's closest approach is fixed by")

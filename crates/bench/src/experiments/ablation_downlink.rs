@@ -106,7 +106,13 @@ impl Experiment for AblationDownlink {
             .scalar("fixed_minus_oldest_age_min", ages[0] - ages[2])
             .table(
                 "arbitration_policies",
-                &["policy", "drained (GB)", "mean data age (min)", "worst backlog (MB)", "station busy %"],
+                &[
+                    "policy",
+                    "drained (GB)",
+                    "mean data age (min)",
+                    "worst backlog (MB)",
+                    "station busy %",
+                ],
                 rows,
             )
             .note("takeaway: the naive fixed priority starves late-indexed")

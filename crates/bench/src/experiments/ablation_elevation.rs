@@ -75,8 +75,8 @@ impl Experiment for AblationElevation {
                 let agg = Aggregate::from_samples(&unc);
                 coverage_series.push(100.0 - agg.mean);
                 if size == 1000 {
-                    result =
-                        result.scalar(&format!("coverage_pct_mask{mask:.0}_1000"), 100.0 - agg.mean);
+                    result = result
+                        .scalar(&format!("coverage_pct_mask{mask:.0}_1000"), 100.0 - agg.mean);
                 }
                 rows.push(vec![
                     format!("{mask:.0}"),

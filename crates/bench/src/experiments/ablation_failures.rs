@@ -100,7 +100,8 @@ impl Experiment for AblationFailures {
         let mut result = ExperimentResult::data();
         let mut means = Vec::new();
         for (label, key, model) in scenarios {
-            let run = simulate_failures(&vt, &all, 0, &model, window, seeds::ABLATION_FAILURES_PROCESS);
+            let run =
+                simulate_failures(&vt, &all, 0, &model, window, seeds::ABLATION_FAILURES_PROCESS);
             let mean_pct = run.mean_coverage() * 100.0;
             means.push(mean_pct);
             result = result.scalar(key, mean_pct);
@@ -118,7 +119,14 @@ impl Experiment for AblationFailures {
             .scalar("replenish_minus_fail_pct", means[2] - means[1])
             .table(
                 "failure_scenarios",
-                &["scenario", "failures", "replacements", "min alive", "mean coverage %", "final coverage %"],
+                &[
+                    "scenario",
+                    "failures",
+                    "replacements",
+                    "min alive",
+                    "mean coverage %",
+                    "final coverage %",
+                ],
                 rows,
             )
             .note("takeaway: random failures degrade coverage smoothly — the same")

@@ -95,7 +95,11 @@ impl Experiment for AblationOwnership {
         }
         result
             .scalar("clustered_minus_interleaved_pct", means[0] - means[1])
-            .table("ownership_layouts", &["ownership layout", "coverage loss %", "loss per week"], rows)
+            .table(
+                "ownership_layouts",
+                &["ownership layout", "coverage loss %", "loss per week"],
+                rows,
+            )
             .note("note: the pool is sampled randomly, so 'contiguous' blocks are")
             .note("contiguous in *sample order*, which for a Walker pool means whole")
             .note("planes/shells — the clustered worst case the paper warns about.")

@@ -66,7 +66,8 @@ impl Experiment for AblationPayload {
             let cn_t = end_to_end_cn(PayloadArchitecture::Transparent, &up, r, &down, r);
             let cn_r = end_to_end_cn(PayloadArchitecture::Regenerative, &up, r, &down, r);
             let cap_t = end_to_end_capacity_bps(PayloadArchitecture::Transparent, &up, r, &down, r);
-            let cap_r = end_to_end_capacity_bps(PayloadArchitecture::Regenerative, &up, r, &down, r);
+            let cap_r =
+                end_to_end_capacity_bps(PayloadArchitecture::Regenerative, &up, r, &down, r);
             let loss_pct = 100.0 * (cap_r - cap_t) / cap_r;
             gateway_loss_max = gateway_loss_max.max(loss_pct);
             rows.push(vec![

@@ -47,10 +47,7 @@ impl Experiment for AblationTrafficMix {
     fn params(&self, fidelity: &Fidelity) -> Vec<(String, String)> {
         vec![
             ("sample".into(), sample_size(fidelity).to_string()),
-            (
-                "scales".into(),
-                SCALES.map(|s| format!("{s}")).join(","),
-            ),
+            ("scales".into(), SCALES.map(|s| format!("{s}")).join(",")),
             ("gateway_stride".into(), "3".into()),
         ]
     }
@@ -105,15 +102,22 @@ impl Experiment for AblationTrafficMix {
             }
             let point_cfg = TrafficConfig { demand_scale: scale, ..cfg.clone() };
             let report = run_traffic_with_routes(
-                &demand, &routes, &point_cfg, &sat_party, &city_party, &parties,
+                &demand,
+                &routes,
+                &point_cfg,
+                &sat_party,
+                &city_party,
+                &parties,
             );
-            let served_mean = report.total_served_steps.iter().sum::<f64>()
-                / report.steps.max(1) as f64;
+            let served_mean =
+                report.total_served_steps.iter().sum::<f64>() / report.steps.max(1) as f64;
             let ratio_pct = report.served_ratio() * 100.0;
             rows.push(vec![
                 format!("x{scale}"),
-                format!("{:.0}", report.total_offered_steps.iter().sum::<f64>()
-                    / report.steps.max(1) as f64),
+                format!(
+                    "{:.0}",
+                    report.total_offered_steps.iter().sum::<f64>() / report.steps.max(1) as f64
+                ),
                 format!("{served_mean:.0}"),
                 format!("{ratio_pct:.1}"),
                 format!("{:.1}", report.drop_pct()),
@@ -122,10 +126,8 @@ impl Experiment for AblationTrafficMix {
             ratios_pct.push(ratio_pct);
         }
 
-        let served_monotone =
-            served_means.windows(2).all(|w| w[1] >= w[0] - 1e-6) as u8 as f64;
-        let ratio_monotone =
-            ratios_pct.windows(2).all(|w| w[1] <= w[0] + 1e-6) as u8 as f64;
+        let served_monotone = served_means.windows(2).all(|w| w[1] >= w[0] - 1e-6) as u8 as f64;
+        let ratio_monotone = ratios_pct.windows(2).all(|w| w[1] <= w[0] + 1e-6) as u8 as f64;
 
         ExperimentResult::data()
             .scalar("served_monotone", served_monotone)
@@ -139,11 +141,7 @@ impl Experiment for AblationTrafficMix {
             .series("scales", SCALES.to_vec())
             .series("served_mean_mbps", served_means)
             .series("served_ratio_pct", ratios_pct)
-            .table(
-                "sweep",
-                &["scale", "offered Mbps", "served Mbps", "served %", "drop %"],
-                rows,
-            )
+            .table("sweep", &["scale", "offered Mbps", "served Mbps", "served %", "drop %"], rows)
             .note("takeaway: served traffic saturates rather than collapses as load")
             .note("grows — max-min fairness fills every bottleneck before dropping —")
             .note("while the served ratio falls, which is exactly the deficit signal")

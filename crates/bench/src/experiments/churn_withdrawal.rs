@@ -1,0 +1,203 @@
+//! Churn campaign: mid-run failures and a party withdrawal, then a heal.
+//!
+//! The paper's resilience claim (§3.3) is about what happens *while* the
+//! constellation is carrying traffic, not in before/after snapshots. This
+//! experiment drives `traffic::churn` end to end over the shared scenario:
+//! a tenth of the sampled satellites hard-fail a quarter of the way in,
+//! one party withdraws (satellites and sponsored demand both leave, with a
+//! signed `dcp` withdrawal notice), the failures heal, and the party
+//! rejoins. The headline checks: service returns to the undisturbed
+//! baseline once the last event lands, and the capacity market — run over
+//! the shrinking membership with the withdrawn party censored from every
+//! epoch its absence touches — still clears zero-sum.
+
+use crate::expectations::{Comparator, Expectation};
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiments::expect;
+use crate::{seeds, Context, Fidelity};
+use leosim::montecarlo::{run_rng, sample_indices};
+use mpleo::party::PartyId;
+use traffic::{
+    gateways_every_nth, run_campaign, CampaignConfig, ChurnEvent, ChurnSchedule, TrafficConfig,
+};
+
+/// See module docs.
+pub struct ChurnWithdrawal;
+
+/// The experiment's party set (shared with `traffic_diurnal`).
+pub const PARTIES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Gateway placement stride over the 21 paper cities.
+pub const GATEWAY_STRIDE: usize = 3;
+
+/// Fraction of the sampled constellation that hard-fails mid-campaign.
+pub const FAIL_FRACTION: f64 = 0.1;
+
+/// Index (into [`PARTIES`]) of the party that withdraws and rejoins.
+pub const WITHDRAWING_PARTY: usize = 1;
+
+/// Market epoch length, seconds (same cadence as `traffic_diurnal`).
+pub const EPOCH_S: f64 = 6.0 * 3600.0;
+
+fn sample_size(fidelity: &Fidelity) -> usize {
+    if fidelity.full {
+        600
+    } else {
+        250
+    }
+}
+
+/// The campaign's timeline over a horizon of `steps` grid steps: failures
+/// at 25%, withdrawal at 40%, failure heal at 60%, rejoin at 75%. The
+/// failure set is drawn by [`traffic::sample_failures`] from
+/// [`seeds::CHURN_WITHDRAWAL`], so the schedule is a pure function of the
+/// scenario dimensions.
+pub fn schedule(steps: usize, n_sats: usize) -> ChurnSchedule {
+    ChurnSchedule::new()
+        .fail_random_sats(
+            seeds::CHURN_WITHDRAWAL,
+            n_sats,
+            FAIL_FRACTION,
+            steps / 4,
+            Some(3 * steps / 5),
+        )
+        .at(2 * steps / 5, ChurnEvent::PartyWithdraw { party: WITHDRAWING_PARTY })
+        .at(3 * steps / 4, ChurnEvent::PartyRejoin { party: WITHDRAWING_PARTY })
+}
+
+impl Experiment for ChurnWithdrawal {
+    fn id(&self) -> &'static str {
+        "churn_withdrawal"
+    }
+
+    fn title(&self) -> &'static str {
+        "mid-run failures and party withdrawal, then a heal"
+    }
+
+    fn seeds(&self) -> Vec<u64> {
+        vec![seeds::CHURN_WITHDRAWAL]
+    }
+
+    fn params(&self, fidelity: &Fidelity) -> Vec<(String, String)> {
+        vec![
+            ("sample".into(), sample_size(fidelity).to_string()),
+            ("parties".into(), PARTIES.len().to_string()),
+            ("gateway_stride".into(), GATEWAY_STRIDE.to_string()),
+            ("fail_fraction".into(), format!("{FAIL_FRACTION}")),
+            ("withdrawing_party".into(), PARTIES[WITHDRAWING_PARTY].into()),
+            ("epoch_s".into(), format!("{EPOCH_S:.0}")),
+        ]
+    }
+
+    fn expectations(&self) -> Vec<Expectation> {
+        vec![
+            expect(
+                "settlement_net_abs",
+                Comparator::Le,
+                1e-6,
+                0.0,
+                "§3.2: the market clears zero-sum even under churn",
+                true,
+            ),
+            expect(
+                "recovered",
+                Comparator::Within,
+                1.0,
+                0.0,
+                "§3.3: service returns to baseline once the churn heals",
+                true,
+            ),
+            expect(
+                "worst_deficit_pct",
+                Comparator::Ge,
+                0.1,
+                0.1,
+                "§3.3: losing a tenth of the fleet plus a member must bite",
+                false,
+            ),
+            expect(
+                "notices",
+                Comparator::Within,
+                1.0,
+                0.0,
+                "§3.1: every withdrawal is announced by a signed notice",
+                true,
+            ),
+        ]
+    }
+
+    fn run(&self, ctx: &Context, fidelity: &Fidelity) -> ExperimentResult {
+        let sample = sample_size(fidelity);
+        let mut rng = run_rng(seeds::CHURN_WITHDRAWAL, 0);
+        let idx = sample_indices(&mut rng, ctx.pool.len(), sample);
+        let store = ctx.subset_ephemeris(&idx);
+        let steps = store.steps();
+
+        let parties: Vec<PartyId> = PARTIES.iter().map(|&p| PartyId::new(p)).collect();
+        let sat_party: Vec<usize> = (0..store.sat_count()).map(|s| s % PARTIES.len()).collect();
+        let city_party: Vec<usize> = (0..ctx.cities.len()).map(|c| c % PARTIES.len()).collect();
+        let gateways = gateways_every_nth(&ctx.cities, GATEWAY_STRIDE);
+
+        let mut traffic_cfg = TrafficConfig::default();
+        traffic_cfg.demand.seed = seeds::CHURN_WITHDRAWAL;
+        let cfg = CampaignConfig {
+            traffic: traffic_cfg,
+            schedule: schedule(steps, store.sat_count()),
+            epoch_steps: ((EPOCH_S / ctx.grid.step_s).round() as usize).max(1),
+            key_seed: b"churn-withdrawal".to_vec(),
+            ..CampaignConfig::default()
+        };
+
+        let report = run_campaign(
+            &store,
+            &ctx.cities,
+            &gateways,
+            &ctx.config,
+            &cfg,
+            &sat_party,
+            &city_party,
+            &parties,
+        );
+
+        let party_rows: Vec<Vec<String>> = parties
+            .iter()
+            .enumerate()
+            .map(|(p, id)| {
+                vec![
+                    id.to_string(),
+                    format!("{:+.0}", report.party_delta_mean(p)),
+                    format!("{:+.2}", report.settlement.get(&id.0).copied().unwrap_or(0.0)),
+                    if p == WITHDRAWING_PARTY { "withdraws".into() } else { "stays".into() },
+                ]
+            })
+            .collect();
+        let down_sats_peak = report.down_sats.iter().copied().max().unwrap_or(0);
+
+        let mut result = ExperimentResult::data()
+            .scalar("served_ratio_pct", report.churn.served_ratio() * 100.0)
+            .scalar("baseline_served_ratio_pct", report.baseline.served_ratio() * 100.0)
+            .scalar("worst_deficit_pct", report.worst_deficit() * 100.0)
+            .scalar("mean_deficit_pct", report.mean_deficit() * 100.0)
+            .scalar("reroutes_total", report.reroutes_total() as f64)
+            .scalar("down_sats_peak", down_sats_peak as f64)
+            .scalar("recovered", report.recovered() as u8 as f64)
+            .scalar("notices", report.notices.len() as f64)
+            .scalar("orders", report.orders.len() as f64)
+            .scalar("trades", report.trades as f64)
+            .scalar("settlement_net_abs", report.settlement_net().abs())
+            .series("served_fraction", report.served_fraction.clone())
+            .series("baseline_fraction", report.baseline_fraction.clone())
+            .series("deficit_fraction", report.deficit_fraction.clone())
+            .series("down_sats", report.down_sats.iter().map(|&d| d as f64).collect())
+            .series("reroutes", report.reroutes.iter().map(|&r| r as f64).collect())
+            .table("parties", &["party", "served delta Mbps", "settlement", "role"], party_rows)
+            .note("takeaway: the constellation degrades gracefully — failures and a")
+            .note("withdrawal dent the served fraction and force reroutes, but service")
+            .note("snaps back to the baseline once the churn heals, and the capacity")
+            .note("market keeps clearing zero-sum over the shrinking membership.");
+        if let Some(ttr) = report.time_to_recover_steps {
+            result = result.scalar("time_to_recover_steps", ttr as f64);
+        }
+        result
+    }
+}

@@ -101,9 +101,8 @@ impl Experiment for Fig2 {
             uncovered_series.push(unc.mean);
             gap_series.push(gap.mean);
             if size == 100 {
-                result = result
-                    .scalar("uncovered_pct_100", unc.mean)
-                    .scalar("max_gap_s_100", gap.mean);
+                result =
+                    result.scalar("uncovered_pct_100", unc.mean).scalar("max_gap_s_100", gap.mean);
             }
             if size == 1000 {
                 result = result.scalar("coverage_pct_1000", 100.0 - unc.mean);

@@ -70,7 +70,8 @@ impl Experiment for Fig4a {
         let mut mean_series = Vec::new();
         let mut result = ExperimentResult::data();
         for &base in &BASES {
-            let agg = random_addition_experiment(&vt, base, &ctx.weights, fidelity.runs, seeds::FIG4A);
+            let agg =
+                random_addition_experiment(&vt, base, &ctx.weights, fidelity.runs, seeds::FIG4A);
             mean_series.push(agg.mean * scale);
             result = result.scalar(&format!("mean_gain_s_base{base}"), agg.mean * scale);
             rows.push(vec![
@@ -81,7 +82,8 @@ impl Experiment for Fig4a {
                 format!("{:.1}", agg.std_dev * scale / 60.0),
             ]);
         }
-        let ratio = if mean_series[2] > 0.0 { mean_series[0] / mean_series[2] } else { f64::INFINITY };
+        let ratio =
+            if mean_series[2] > 0.0 { mean_series[0] / mean_series[2] } else { f64::INFINITY };
         result
             .scalar("diminishing_ratio", ratio)
             .series("bases", BASES.iter().map(|&b| b as f64).collect())

@@ -52,7 +52,8 @@ impl Experiment for Fig4b {
     }
 
     fn run(&self, ctx: &Context, _fidelity: &Fidelity) -> ExperimentResult {
-        let points = phase_sweep(&ctx.sites, &ctx.weights, &ctx.grid, &ctx.config, scenario_epoch());
+        let points =
+            phase_sweep(&ctx.sites, &ctx.weights, &ctx.grid, &ctx.config, scenario_epoch());
         let scale = week_scale(ctx.grid.duration_s());
 
         let best = points
@@ -61,7 +62,8 @@ impl Experiment for Fig4b {
             .expect("sweep is non-empty");
         let mut rows = Vec::new();
         for p in &points {
-            let marker = if (p.offset_deg - best.offset_deg).abs() < 1e-9 { " <-- max" } else { "" };
+            let marker =
+                if (p.offset_deg - best.offset_deg).abs() < 1e-9 { " <-- max" } else { "" };
             rows.push(vec![
                 format!("{:.0}", p.offset_deg),
                 fmt_dur(p.gain_s * scale),

@@ -80,14 +80,21 @@ impl Experiment for Fig4c {
             ]);
         }
         let gain = |c: Category| {
-            results.iter().find(|r| r.category == c).map(|r| r.gain_s * scale / 60.0).unwrap_or(f64::NAN)
+            results
+                .iter()
+                .find(|r| r.category == c)
+                .map(|r| r.gain_s * scale / 60.0)
+                .unwrap_or(f64::NAN)
         };
         result
             .scalar(
                 "inclination_minus_phase_min",
                 gain(Category::DifferentInclination) - gain(Category::DifferentPhase),
             )
-            .scalar("min_gain_min_per_week", gains_min.iter().cloned().fold(f64::INFINITY, f64::min))
+            .scalar(
+                "min_gain_min_per_week",
+                gains_min.iter().cloned().fold(f64::INFINITY, f64::min),
+            )
             .series("gain_min_per_week", gains_min)
             .table("category_study", &["category", "gain /wk", "gain (min)"], rows)
             .note("paper shape: different inclination highest (~1 h 11 m);")

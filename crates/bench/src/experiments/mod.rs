@@ -4,6 +4,7 @@
 //! [`crate::runner::main_for`].
 
 pub mod ablation_bootstrap;
+pub mod ablation_churn_rate;
 pub mod ablation_congestion;
 pub mod ablation_downlink;
 pub mod ablation_economics;
@@ -17,6 +18,7 @@ pub mod ablation_payload;
 pub mod ablation_pricing;
 pub mod ablation_qos;
 pub mod ablation_traffic_mix;
+pub mod churn_withdrawal;
 pub mod fig1a;
 pub mod fig2;
 pub mod fig3;

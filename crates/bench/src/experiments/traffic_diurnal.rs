@@ -172,10 +172,7 @@ impl Experiment for TrafficDiurnal {
                     name.clone(),
                     format!("{:.0}", report.offered_mean_mbps[c]),
                     format!("{:.0}", report.served_mean_mbps[c]),
-                    format!(
-                        "{:.1}",
-                        report.latency[c].availability() * 100.0
-                    ),
+                    format!("{:.1}", report.latency[c].availability() * 100.0),
                 ]
             })
             .collect();
@@ -193,14 +190,17 @@ impl Experiment for TrafficDiurnal {
             .series("total_served_mbps", report.total_served_steps.clone())
             .table(
                 "parties",
-                &["party", "offered Mbps", "served Mbps", "carried Mbps", "spare Mbps", "settlement"],
+                &[
+                    "party",
+                    "offered Mbps",
+                    "served Mbps",
+                    "carried Mbps",
+                    "spare Mbps",
+                    "settlement",
+                ],
                 party_rows,
             )
-            .table(
-                "cities",
-                &["city", "offered Mbps", "served Mbps", "served steps %"],
-                city_rows,
-            )
+            .table("cities", &["city", "offered Mbps", "served Mbps", "served steps %"], city_rows)
             .note("takeaway: metro demand breathes with local solar time; the shared")
             .note("constellation serves it max-min fairly, and each party's leftover")
             .note("surplus/deficit becomes demand-driven order flow that the capacity")
@@ -208,9 +208,7 @@ impl Experiment for TrafficDiurnal {
         if let (Some(p50), Some(p99)) =
             (report.pooled_latency_ms(0.5), report.pooled_latency_ms(0.99))
         {
-            result = result
-                .scalar("p50_latency_ms", p50)
-                .scalar("p99_latency_ms", p99);
+            result = result.scalar("p50_latency_ms", p50).scalar("p99_latency_ms", p99);
         }
         result
     }

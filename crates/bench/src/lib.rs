@@ -276,9 +276,7 @@ impl Context {
 /// The ephemeris disk-cache path configured via `MPLEO_EPHEMERIS_CACHE`
 /// (empty value = disabled).
 pub fn ephemeris_cache_from_env() -> Option<PathBuf> {
-    std::env::var_os("MPLEO_EPHEMERIS_CACHE")
-        .filter(|v| !v.is_empty())
-        .map(PathBuf::from)
+    std::env::var_os("MPLEO_EPHEMERIS_CACHE").filter(|v| !v.is_empty()).map(PathBuf::from)
 }
 
 /// Count of pool-wide ephemeris builds performed by [`Context`]s in this
@@ -400,11 +398,9 @@ mod tests {
             assert!(err.to_string().contains(var));
         }
         // A step larger than the horizon is rejected even if both parse.
-        let err = Fidelity::from_env_map(&env(&[
-            ("MPLEO_HORIZON_S", "100"),
-            ("MPLEO_STEP_S", "200"),
-        ]))
-        .unwrap_err();
+        let err =
+            Fidelity::from_env_map(&env(&[("MPLEO_HORIZON_S", "100"), ("MPLEO_STEP_S", "200")]))
+                .unwrap_err();
         assert_eq!(err.var, "MPLEO_STEP_S");
     }
 
@@ -457,11 +453,7 @@ mod tests {
         // A row longer than the header grows a column; a shorter row pads.
         let s = render_table(
             &["x"],
-            &[
-                vec!["1".into(), "extra".into(), "more".into()],
-                vec![],
-                vec!["22".into()],
-            ],
+            &[vec!["1".into(), "extra".into(), "more".into()], vec![], vec!["22".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5);

@@ -1,5 +1,5 @@
 //! The experiment registry: the single list of every figure/ablation the
-//! harness can run, keyed by stable id. The 23 `src/bin/` shims, the
+//! harness can run, keyed by stable id. The 25 `src/bin/` shims, the
 //! `suite` binary, and the `mpleo experiments` CLI subcommand all resolve
 //! through here.
 
@@ -8,7 +8,7 @@ use crate::experiments::*;
 
 /// Every registered experiment, in EXPERIMENTS.md order: figures first,
 /// then the ablations.
-pub static ALL: [&dyn Experiment; 23] = [
+pub static ALL: [&dyn Experiment; 25] = [
     &fig1a::Fig1a,
     &fig2::Fig2,
     &fig3::Fig3,
@@ -32,6 +32,8 @@ pub static ALL: [&dyn Experiment; 23] = [
     &ablation_economics::AblationEconomics,
     &traffic_diurnal::TrafficDiurnal,
     &ablation_traffic_mix::AblationTrafficMix,
+    &churn_withdrawal::ChurnWithdrawal,
+    &ablation_churn_rate::AblationChurnRate,
 ];
 
 /// All experiment ids, registry order.
@@ -47,17 +49,10 @@ pub fn get(id: &str) -> Option<&'static dyn Experiment> {
 /// Resolve `--only` / `--skip` filters into the selected experiments
 /// (registry order preserved). Unknown ids are an error naming the known
 /// set.
-pub fn select(
-    only: &[String],
-    skip: &[String],
-) -> Result<Vec<&'static dyn Experiment>, String> {
+pub fn select(only: &[String], skip: &[String]) -> Result<Vec<&'static dyn Experiment>, String> {
     for id in only.iter().chain(skip.iter()) {
         if get(id).is_none() {
-            return Err(format!(
-                "unknown experiment '{}'; known ids: {}",
-                id,
-                ids().join(", ")
-            ));
+            return Err(format!("unknown experiment '{}'; known ids: {}", id, ids().join(", ")));
         }
     }
     Ok(ALL
@@ -74,10 +69,10 @@ mod tests {
     use std::collections::BTreeSet;
 
     #[test]
-    fn registry_has_all_23_experiments_with_distinct_ids() {
-        assert_eq!(ALL.len(), 23);
+    fn registry_has_all_25_experiments_with_distinct_ids() {
+        assert_eq!(ALL.len(), 25);
         let unique: BTreeSet<&str> = ids().into_iter().collect();
-        assert_eq!(unique.len(), 23, "duplicate experiment ids");
+        assert_eq!(unique.len(), 25, "duplicate experiment ids");
         // Every historical binary name is present.
         for id in [
             "fig1a",
@@ -103,6 +98,8 @@ mod tests {
             "ablation_economics",
             "traffic_diurnal",
             "ablation_traffic_mix",
+            "churn_withdrawal",
+            "ablation_churn_rate",
         ] {
             assert!(get(id).is_some(), "missing experiment {id}");
         }
@@ -111,7 +108,7 @@ mod tests {
     #[test]
     fn select_filters() {
         let sel = select(&[], &[]).unwrap();
-        assert_eq!(sel.len(), 23);
+        assert_eq!(sel.len(), 25);
         let sel = select(&["fig2".into(), "fig3".into()], &[]).unwrap();
         assert_eq!(sel.iter().map(|e| e.id()).collect::<Vec<_>>(), vec!["fig2", "fig3"]);
         let sel = select(&["fig2".into(), "fig3".into()], &["fig2".into()]).unwrap();

@@ -3,7 +3,7 @@
 //! One process, one shared [`Context`] (and therefore one pool ephemeris
 //! build), any subset of the registry. Three entry points share it:
 //!
-//! * the 23 historical binaries, each now a one-line
+//! * the 25 historical binaries, each now a one-line
 //!   [`main_for`]`("fig2")` shim;
 //! * the `suite` binary (`--only`/`--skip`/`--strict`/`--report`, …);
 //! * the `mpleo experiments` CLI subcommand.
@@ -294,7 +294,7 @@ fn print_summary(s: &SuiteSummary) {
     );
 }
 
-/// Entry point for the 23 historical binaries: run exactly one experiment
+/// Entry point for the 25 historical binaries: run exactly one experiment
 /// (quick fidelity by default, `MPLEO_FULL=1` for the paper's), write its
 /// JSON, and exit non-zero on a hard expectation failure.
 pub fn main_for(id: &str) {
@@ -376,13 +376,15 @@ pub fn parse_args(args: &[String]) -> Result<SuiteCommand, String> {
         match arg.as_str() {
             "--list" => list = true,
             "--only" => {
-                let v =
-                    it.next().ok_or_else(|| "--only needs a comma-separated id list".to_string())?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--only needs a comma-separated id list".to_string())?;
                 opts.only = split_ids(v);
             }
             "--skip" => {
-                let v =
-                    it.next().ok_or_else(|| "--skip needs a comma-separated id list".to_string())?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--skip needs a comma-separated id list".to_string())?;
                 opts.skip = split_ids(v);
             }
             "--out" => {
@@ -394,10 +396,13 @@ pub fn parse_args(args: &[String]) -> Result<SuiteCommand, String> {
             "--sequential" => opts.sequential = true,
             "--quiet" => opts.quiet = true,
             "--threads" => {
-                let v = it.next().ok_or_else(|| "--threads needs a count (0 = auto)".to_string())?;
-                opts.threads = v
-                    .parse::<usize>()
-                    .map_err(|_| format!("--threads {v:?} is invalid: expected a non-negative integer (0 = auto)"))?;
+                let v =
+                    it.next().ok_or_else(|| "--threads needs a count (0 = auto)".to_string())?;
+                opts.threads = v.parse::<usize>().map_err(|_| {
+                    format!(
+                        "--threads {v:?} is invalid: expected a non-negative integer (0 = auto)"
+                    )
+                })?;
             }
             "--report" => report = true,
             "--report-only" => report_only = true,

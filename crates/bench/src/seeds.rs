@@ -46,6 +46,11 @@ pub const ABLATION_ECONOMICS: u64 = 0xABE;
 pub const TRAFFIC: u64 = 0x7AF1C;
 /// Ablation: demand-scale sweep over the traffic engine.
 pub const ABLATION_TRAFFIC_MIX: u64 = 0x7AF2;
+/// Churn campaign: mid-run failures + party withdrawal (subset sampling,
+/// demand jitter, failure-set permutation).
+pub const CHURN_WITHDRAWAL: u64 = 0xC4012;
+/// Ablation: churn-rate sweep over the campaign engine.
+pub const ABLATION_CHURN_RATE: u64 = 0xC4013;
 
 /// Every seed above, labelled. The registry records these in each
 /// experiment's JSON result and the test below keeps them distinct.
@@ -69,6 +74,8 @@ pub const ALL: &[(&str, u64)] = &[
     ("ablation_economics", ABLATION_ECONOMICS),
     ("traffic_diurnal", TRAFFIC),
     ("ablation_traffic_mix", ABLATION_TRAFFIC_MIX),
+    ("churn_withdrawal", CHURN_WITHDRAWAL),
+    ("ablation_churn_rate", ABLATION_CHURN_RATE),
 ];
 
 #[cfg(test)]

@@ -100,9 +100,9 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError::BadValue(key.to_string(), v.clone(), "number")),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError::BadValue(key.to_string(), v.clone(), "number"))
+            }
         }
     }
 
@@ -117,9 +117,9 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError::BadValue(key.to_string(), v.clone(), "integer")),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError::BadValue(key.to_string(), v.clone(), "integer"))
+            }
         }
     }
 
@@ -188,6 +188,8 @@ mod tests {
     #[test]
     fn error_messages_name_the_flag() {
         assert!(ArgError::Required("lat".into()).to_string().contains("--lat"));
-        assert!(ArgError::BadValue("n".into(), "x".into(), "integer").to_string().contains("--n=x"));
+        assert!(ArgError::BadValue("n".into(), "x".into(), "integer")
+            .to_string()
+            .contains("--n=x"));
     }
 }

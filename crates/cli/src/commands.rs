@@ -57,13 +57,15 @@ fn ephemeris_cache(args: &Args) -> Option<PathBuf> {
     if !flag.is_empty() {
         return Some(PathBuf::from(flag));
     }
-    std::env::var_os("MPLEO_EPHEMERIS_CACHE")
-        .filter(|v| !v.is_empty())
-        .map(PathBuf::from)
+    std::env::var_os("MPLEO_EPHEMERIS_CACHE").filter(|v| !v.is_empty()).map(PathBuf::from)
 }
 
 /// Shared: build a sampled pool visibility table for one site.
-fn site_table(args: &Args, lat: f64, lon: f64) -> Result<(VisibilityTable, usize), Box<dyn std::error::Error>> {
+fn site_table(
+    args: &Args,
+    lat: f64,
+    lon: f64,
+) -> Result<(VisibilityTable, usize), Box<dyn std::error::Error>> {
     let sats_n = args.get_usize("sats", 500)?;
     let days = args.get_f64("days", 1.0)?;
     let step = args.get_f64("step", 60.0)?;
@@ -96,7 +98,17 @@ fn site_table(args: &Args, lat: f64, lon: f64) -> Result<(VisibilityTable, usize
 
 /// `mpleo coverage` — coverage statistics for a point or named region.
 pub fn coverage(args: &Args) -> CmdResult {
-    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "region", "ephemeris-cache", "threads"])?;
+    args.expect_only(&[
+        "lat",
+        "lon",
+        "sats",
+        "days",
+        "step",
+        "mask",
+        "region",
+        "ephemeris-cache",
+        "threads",
+    ])?;
     configure_threads(args)?;
     let region_name = args.get_str("region", "");
     if !region_name.is_empty() {
@@ -142,7 +154,10 @@ fn coverage_region(args: &Args, name: &str) -> CmdResult {
     let grid = TimeGrid::new(epoch(), days * 86_400.0, step);
     let cfg = SimConfig::default().with_mask_deg(mask);
     let rc = leosim::region::region_coverage(&sats, &region, 3, &grid, &cfg);
-    println!("region: {} ({} receiver grid points); sample: {sats_n} satellites", rc.region, rc.receivers);
+    println!(
+        "region: {} ({} receiver grid points); sample: {sats_n} satellites",
+        rc.region, rc.receivers
+    );
     println!("horizon: {}", format_duration(grid.duration_s()));
     println!("mean availability:         {:.3}%", rc.mean_fraction * 100.0);
     println!("worst-site availability:   {:.3}%", rc.worst_fraction * 100.0);
@@ -223,10 +238,8 @@ pub fn screen(args: &Args) -> CmdResult {
         ..ShellSpec::starlink_like()
     };
     let window_s = args.get_f64("hours", 6.0)? * 3600.0;
-    let cfg = ScreeningConfig {
-        threshold_km: args.get_f64("threshold", 10.0)?,
-        ..Default::default()
-    };
+    let cfg =
+        ScreeningConfig { threshold_km: args.get_f64("threshold", 10.0)?, ..Default::default() };
     let els: Vec<_> = walker_delta(&spec, epoch()).iter().map(|s| s.elements).collect();
     let found = screen_all_pairs(&els, epoch(), window_s, &cfg);
     let report = congestion_report(&found, els.len(), window_s);
@@ -256,7 +269,16 @@ pub fn screen(args: &Args) -> CmdResult {
 
 /// `mpleo sla` — quote the sellable tier.
 pub fn sla(args: &Args) -> CmdResult {
-    args.expect_only(&["lat", "lon", "sats", "days", "step", "mask", "ephemeris-cache", "threads"])?;
+    args.expect_only(&[
+        "lat",
+        "lon",
+        "sats",
+        "days",
+        "step",
+        "mask",
+        "ephemeris-cache",
+        "threads",
+    ])?;
     configure_threads(args)?;
     let lat = args.get_f64("lat", 25.033)?;
     let lon = args.get_f64("lon", 121.565)?;
@@ -267,7 +289,10 @@ pub fn sla(args: &Args) -> CmdResult {
     println!("site ({lat:.3}, {lon:.3}), {n}-satellite sample:");
     println!("availability: {:.3}%", quote.availability * 100.0);
     println!("worst outage: {}", format_duration(quote.worst_outage_s));
-    println!("sellable tier: {} ({}x best-effort price)", quote.tier.name, quote.tier.price_multiplier);
+    println!(
+        "sellable tier: {} ({}x best-effort price)",
+        quote.tier.name, quote.tier.price_multiplier
+    );
     if let Some(gap) = quote.next_tier_gap {
         if gap > 0.0 {
             println!("availability shortfall to next tier: {:.3} points", gap * 100.0);
@@ -371,15 +396,10 @@ pub fn map(args: &Args) -> CmdResult {
             leosim::coveragemap::CoverageMap::compute(&sats, &grid, &cfg, rows, cols)
         }
     };
-    println!(
-        "coverage fraction, {sats_n} satellites, {hours:.0} h horizon, {mask:.0} deg mask"
-    );
+    println!("coverage fraction, {sats_n} satellites, {hours:.0} h horizon, {mask:.0} deg mask");
     println!("(darker = better covered; right margin = row latitude)\n");
     print!("{}", map.ascii());
-    println!(
-        "\narea-weighted global mean coverage: {:.1}%",
-        map.global_mean() * 100.0
-    );
+    println!("\narea-weighted global mean coverage: {:.1}%", map.global_mean() * 100.0);
     println!("note the bright bands near +-53 deg and the dark poles — the");
     println!("geometry behind every figure in the paper.");
     Ok(())
@@ -396,7 +416,8 @@ pub fn audit(args: &Args) -> CmdResult {
         30f64.to_radians(),
     );
     let site = GroundSite::from_degrees("audit-station", 25.03, 121.56);
-    let obs = orbital::od::synthesize_observations(&truth, epoch(), &site, 43_200.0, 30.0, 10.0, 0.1, 11);
+    let obs =
+        orbital::od::synthesize_observations(&truth, epoch(), &site, 43_200.0, 30.0, 10.0, 0.1, 11);
     println!("ranging log: {} measurements over half a day", obs.len());
     let published = orbital::kepler::ClassicalElements {
         raan_rad: truth.raan_rad + forge.to_radians(),
@@ -405,8 +426,7 @@ pub fn audit(args: &Args) -> CmdResult {
     let mut sc = dcp::poc::Scenario::new(epoch());
     sc.add_satellite(1, published);
     sc.add_ground_station("auditor", site);
-    match dcp::poc::audit_published_elements(&sc, 1, "auditor", &obs, 1.0)
-        .expect("ids registered")
+    match dcp::poc::audit_published_elements(&sc, 1, "auditor", &obs, 1.0).expect("ids registered")
     {
         dcp::poc::ElementAudit::Consistent { rms_km } => {
             println!("published elements CONSISTENT with observations (rms {rms_km:.3} km)");
@@ -557,9 +577,7 @@ pub fn traffic(args: &Args) -> CmdResult {
     let grid = TimeGrid::new(epoch(), hours * 3600.0, step);
     let cfg = SimConfig::default().with_mask_deg(mask);
     let store = match ephemeris_cache(args) {
-        Some(path) => {
-            EphemerisStore::load_or_build(&pool, &grid, &cfg, Some(&path)).select(&idx)
-        }
+        Some(path) => EphemerisStore::load_or_build(&pool, &grid, &cfg, Some(&path)).select(&idx),
         None => {
             let sats: Vec<_> = idx.iter().map(|&i| pool[i].clone()).collect();
             EphemerisStore::build(&sats, &grid, &cfg)
@@ -582,15 +600,30 @@ pub fn traffic(args: &Args) -> CmdResult {
         ..traffic_crate::TrafficConfig::default()
     };
     let report = traffic_crate::run_traffic(
-        &store, &cities, &gateways, &cfg, &tcfg, &sat_party, &city_party, &parties,
+        &store,
+        &cities,
+        &gateways,
+        &cfg,
+        &tcfg,
+        &sat_party,
+        &city_party,
+        &parties,
     );
 
     println!(
         "constellation sample: {sats_n} satellites, {n_parties} parties, {} gateways",
         gateways.len()
     );
-    println!("horizon: {} ({} steps of {step:.0} s)", format_duration(grid.duration_s()), grid.steps);
-    println!("served: {:.1}% of offered traffic (drop {:.1}%)", report.served_ratio() * 100.0, report.drop_pct());
+    println!(
+        "horizon: {} ({} steps of {step:.0} s)",
+        format_duration(grid.duration_s()),
+        grid.steps
+    );
+    println!(
+        "served: {:.1}% of offered traffic (drop {:.1}%)",
+        report.served_ratio() * 100.0,
+        report.drop_pct()
+    );
     match (report.pooled_latency_ms(0.5), report.pooled_latency_ms(0.99)) {
         (Some(p50), Some(p99)) => println!("latency under load: p50 {p50:.1} ms, p99 {p99:.1} ms"),
         _ => println!("latency under load: no traffic served"),
@@ -631,6 +664,184 @@ pub fn traffic(args: &Args) -> CmdResult {
         book.trades().len()
     );
     for (party, credits) in &settlement {
+        println!("  {party}: {credits:+.2} credits");
+    }
+    Ok(())
+}
+
+/// `mpleo churn` — run a timed churn campaign over the traffic stack:
+/// mid-run satellite failures plus an optional party withdrawal, with the
+/// graceful-degradation summary and the censored capacity-market
+/// settlement (the `traffic::churn` engine, the CLI-sized cousin of the
+/// `churn_withdrawal` experiment).
+pub fn churn(args: &Args) -> CmdResult {
+    args.expect_only(&[
+        "sats",
+        "hours",
+        "step",
+        "parties",
+        "gateway-stride",
+        "fail-fraction",
+        "withdraw",
+        "scale",
+        "mask",
+        "ephemeris-cache",
+        "threads",
+    ])?;
+    configure_threads(args)?;
+    let sats_n = args.get_usize("sats", 300)?;
+    let hours = args.get_f64("hours", 12.0)?;
+    let step = args.get_f64("step", 600.0)?;
+    let n_parties = args.get_usize("parties", 3)?;
+    let stride = args.get_usize("gateway-stride", 3)?;
+    let fail_fraction = args.get_f64("fail-fraction", 0.1)?;
+    let withdraw = args.get_str("withdraw", "1");
+    let scale = args.get_f64("scale", 1.0)?;
+    let mask = args.get_f64("mask", 25.0)?;
+    if n_parties == 0 {
+        return Err("--parties must be at least 1".into());
+    }
+    if stride == 0 {
+        return Err("--gateway-stride must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&fail_fraction) {
+        return Err("--fail-fraction must be in [0, 1]".into());
+    }
+    if scale < 0.0 {
+        return Err("--scale must be non-negative".into());
+    }
+    let withdraw: Option<usize> = match withdraw.as_str() {
+        "none" => None,
+        v => {
+            let p: usize = v
+                .parse()
+                .map_err(|_| format!("--withdraw must be a party index or 'none', got '{v}'"))?;
+            if p >= n_parties {
+                return Err(format!("--withdraw {p} out of range ({n_parties} parties)").into());
+            }
+            Some(p)
+        }
+    };
+
+    let pool = starlink_gen1_pool(epoch());
+    if sats_n > pool.len() {
+        return Err(format!("--sats {} exceeds the pool of {}", sats_n, pool.len()).into());
+    }
+    let mut rng = run_rng(0xC15, 0);
+    let idx = sample_indices(&mut rng, pool.len(), sats_n);
+    let grid = TimeGrid::new(epoch(), hours * 3600.0, step);
+    let cfg = SimConfig::default().with_mask_deg(mask);
+    let store = match ephemeris_cache(args) {
+        Some(path) => EphemerisStore::load_or_build(&pool, &grid, &cfg, Some(&path)).select(&idx),
+        None => {
+            let sats: Vec<_> = idx.iter().map(|&i| pool[i].clone()).collect();
+            EphemerisStore::build(&sats, &grid, &cfg)
+        }
+    };
+    let steps = store.steps();
+
+    let cities = geodata::paper_cities();
+    let gateways = traffic_crate::gateways_every_nth(&cities, stride);
+    let parties: Vec<mpleo::party::PartyId> =
+        (0..n_parties).map(|p| mpleo::party::PartyId::new(format!("party-{p}"))).collect();
+    let sat_party: Vec<usize> = (0..store.sat_count()).map(|s| s % n_parties).collect();
+    let city_party: Vec<usize> = (0..cities.len()).map(|c| c % n_parties).collect();
+
+    // The campaign's timeline mirrors the `churn_withdrawal` experiment:
+    // failures at 25% of the horizon healing at 60%, the withdrawal at 40%
+    // rejoining at 75%.
+    let mut schedule = traffic_crate::ChurnSchedule::new().fail_random_sats(
+        0xC15,
+        store.sat_count(),
+        fail_fraction,
+        steps / 4,
+        Some(3 * steps / 5),
+    );
+    if let Some(p) = withdraw {
+        schedule = schedule
+            .at(2 * steps / 5, traffic_crate::ChurnEvent::PartyWithdraw { party: p })
+            .at(3 * steps / 4, traffic_crate::ChurnEvent::PartyRejoin { party: p });
+    }
+    let ccfg = traffic_crate::CampaignConfig {
+        traffic: traffic_crate::TrafficConfig {
+            demand_scale: scale,
+            ..traffic_crate::TrafficConfig::default()
+        },
+        schedule,
+        epoch_steps: ((6.0 * 3600.0 / step).round() as usize).max(1),
+        key_seed: b"mpleo-churn-cli".to_vec(),
+        ..traffic_crate::CampaignConfig::default()
+    };
+    let report = traffic_crate::run_campaign(
+        &store,
+        &cities,
+        &gateways,
+        &cfg,
+        &ccfg,
+        &sat_party,
+        &city_party,
+        &parties,
+    );
+
+    println!(
+        "constellation sample: {sats_n} satellites, {n_parties} parties, {} gateways",
+        gateways.len()
+    );
+    println!(
+        "horizon: {} ({} steps of {step:.0} s)",
+        format_duration(grid.duration_s()),
+        grid.steps
+    );
+    println!(
+        "campaign: {:.0}% of satellites fail at step {}, heal at step {}{}",
+        fail_fraction * 100.0,
+        steps / 4,
+        3 * steps / 5,
+        match withdraw {
+            Some(p) => format!(
+                "; party-{p} withdraws at step {} and rejoins at step {}",
+                2 * steps / 5,
+                3 * steps / 4
+            ),
+            None => String::new(),
+        }
+    );
+    println!();
+    println!(
+        "served under churn: {:.1}% of offered (baseline {:.1}%)",
+        report.churn.served_ratio() * 100.0,
+        report.baseline.served_ratio() * 100.0
+    );
+    println!(
+        "deficit vs baseline: worst {:.2}%, mean {:.2}% of offered per step",
+        report.worst_deficit() * 100.0,
+        report.mean_deficit() * 100.0
+    );
+    println!(
+        "reroutes: {} city-steps; satellites down at peak: {}",
+        report.reroutes_total(),
+        report.down_sats.iter().copied().max().unwrap_or(0)
+    );
+    match report.time_to_recover_steps {
+        Some(ttr) => println!("recovery: back at baseline {ttr} step(s) after the last event"),
+        None => println!("recovery: NOT reached within the horizon"),
+    }
+    for notice in &report.notices {
+        println!(
+            "withdrawal notice: {} releases {} satellites effective {}",
+            notice.party,
+            notice.sat_ids.len(),
+            format_duration(notice.effective_s)
+        );
+    }
+    println!();
+    let net = report.settlement_net();
+    println!(
+        "capacity market under churn: {} orders, {} trades (settlement net {net:+.2e})",
+        report.orders.len(),
+        report.trades
+    );
+    for (party, credits) in &report.settlement {
         println!("  {party}: {credits:+.2} credits");
     }
     Ok(())
@@ -686,11 +897,7 @@ mod tests {
     fn tle_command_emits_parseable_tles() {
         // Smoke test through the public API (stdout not captured; we
         // regenerate the same constellation and check parity).
-        let spec = ShellSpec {
-            planes: 2,
-            sats_per_plane: 2,
-            ..ShellSpec::starlink_like()
-        };
+        let spec = ShellSpec { planes: 2, sats_per_plane: 2, ..ShellSpec::starlink_like() };
         for sat in walker_delta(&spec, epoch()) {
             let text = sat.to_tle().to_string();
             orbital::tle::Tle::parse(&text).expect("CLI TLE output must parse");
@@ -705,7 +912,9 @@ mod tests {
 
     #[test]
     fn coverage_region_runs() {
-        assert!(coverage(&argv("coverage --region taiwan --sats 100 --days 0.25 --step 300")).is_ok());
+        assert!(
+            coverage(&argv("coverage --region taiwan --sats 100 --days 0.25 --step 300")).is_ok()
+        );
         assert!(coverage(&argv("coverage --region atlantis")).is_err());
     }
 
@@ -791,5 +1000,24 @@ mod tests {
         assert!(traffic(&argv("traffic --gateway-stride 0")).is_err());
         assert!(traffic(&argv("traffic --scale -1")).is_err());
         assert!(traffic(&argv("traffic --sats 99999")).is_err());
+    }
+
+    #[test]
+    fn churn_runs_small() {
+        assert!(churn(&argv("churn --sats 60 --hours 3 --step 600")).is_ok());
+        assert!(churn(&argv("churn --sats 60 --hours 3 --step 600 --withdraw none")).is_ok());
+        assert!(churn(&argv("churn --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn churn_rejects_bad_flags() {
+        assert!(churn(&argv("churn --parties 0")).is_err());
+        assert!(churn(&argv("churn --gateway-stride 0")).is_err());
+        assert!(churn(&argv("churn --fail-fraction 1.5")).is_err());
+        assert!(churn(&argv("churn --fail-fraction -0.1")).is_err());
+        assert!(churn(&argv("churn --withdraw 7")).is_err());
+        assert!(churn(&argv("churn --withdraw x")).is_err());
+        assert!(churn(&argv("churn --scale -1")).is_err());
+        assert!(churn(&argv("churn --sats 99999")).is_err());
     }
 }

@@ -9,6 +9,7 @@
 //! * `sla`      — quote the sellable service tier for a point
 //! * `cities`   — print the embedded 21-city dataset
 //! * `traffic`  — route diurnal metro demand and summarize the market
+//! * `churn`    — run a timed failure/withdrawal campaign over the traffic stack
 //! * `node`     — run a live coordination-protocol node over TCP
 //! * `experiments` — run the paper's figure/ablation suite in one process
 //!
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         Some("sla") => commands::sla(&parsed),
         Some("cities") => commands::cities(&parsed),
         Some("traffic") => commands::traffic(&parsed),
+        Some("churn") => commands::churn(&parsed),
         Some("map") => commands::map(&parsed),
         Some("audit") => commands::audit(&parsed),
         Some("manifest") => commands::manifest(&parsed),
@@ -96,6 +98,13 @@ COMMANDS:
                 --parties P (3) --gateway-stride K (3)
                 --isl-range KM (3000) --max-hops N (1) --scale F (1)
                 --mask DEG (25)
+                --ephemeris-cache PATH (reuse pool ephemerides on disk)
+                --threads N (0 = auto)
+    churn     run a timed failure/withdrawal campaign over the traffic stack
+                --sats N (300) --hours H (12) --step S (600)
+                --parties P (3) --gateway-stride K (3)
+                --fail-fraction F (0.1) --withdraw IDX|none (1)
+                --scale F (1) --mask DEG (25)
                 --ephemeris-cache PATH (reuse pool ephemerides on disk)
                 --threads N (0 = auto)
     map       ASCII world map of coverage fraction

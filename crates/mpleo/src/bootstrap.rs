@@ -107,11 +107,8 @@ pub fn simulate_bootstrap(
         let total_cov = weighted_coverage_s(vt_pool, &constellation, weights);
         let mut contributions: BTreeMap<String, f64> = BTreeMap::new();
         for (p, sats) in &ownership {
-            let without: Vec<usize> = constellation
-                .iter()
-                .cloned()
-                .filter(|i| !sats.contains(i))
-                .collect();
+            let without: Vec<usize> =
+                constellation.iter().cloned().filter(|i| !sats.contains(i)).collect();
             let marginal = total_cov - weighted_coverage_s(vt_pool, &without, weights);
             contributions.insert(p.clone(), marginal.max(0.0));
         }
@@ -166,7 +163,8 @@ mod tests {
     #[test]
     fn coverage_grows_each_round() {
         let (vt, w) = pool();
-        let out = simulate_bootstrap(&vt, &w, &["p0", "p1", "p2", "p3"], 4, &EmissionSchedule::default());
+        let out =
+            simulate_bootstrap(&vt, &w, &["p0", "p1", "p2", "p3"], 4, &EmissionSchedule::default());
         assert_eq!(out.rounds.len(), 4);
         for pair in out.rounds.windows(2) {
             assert!(pair[1].coverage_s >= pair[0].coverage_s, "coverage must not shrink");
@@ -190,7 +188,8 @@ mod tests {
     #[test]
     fn early_adopters_end_richer_under_equal_contribution() {
         let (vt, w) = pool();
-        let out = simulate_bootstrap(&vt, &w, &["early", "mid", "late"], 4, &EmissionSchedule::default());
+        let out =
+            simulate_bootstrap(&vt, &w, &["early", "mid", "late"], 4, &EmissionSchedule::default());
         let b = &out.balances;
         assert!(
             b["early"] > b["mid"] && b["mid"] > b["late"],
@@ -203,7 +202,8 @@ mod tests {
         let (vt, w) = pool();
         let flat = EmissionSchedule { early_multiplier: 1.0, ..Default::default() };
         let out = simulate_bootstrap(&vt, &w, &["early", "late"], 4, &flat);
-        let bonus = simulate_bootstrap(&vt, &w, &["early", "late"], 4, &EmissionSchedule::default());
+        let bonus =
+            simulate_bootstrap(&vt, &w, &["early", "late"], 4, &EmissionSchedule::default());
         let adv_flat = out.balances["early"] / out.balances["late"].max(1e-9);
         let adv_bonus = bonus.balances["early"] / bonus.balances["late"].max(1e-9);
         assert!(adv_bonus > adv_flat, "bonus {adv_bonus} vs flat {adv_flat}");
@@ -220,7 +220,13 @@ mod tests {
     #[test]
     fn satellites_never_reused() {
         let (vt, w) = pool();
-        let out = simulate_bootstrap(&vt, &w, &["a", "b", "c", "d", "e"], 3, &EmissionSchedule::default());
+        let out = simulate_bootstrap(
+            &vt,
+            &w,
+            &["a", "b", "c", "d", "e"],
+            3,
+            &EmissionSchedule::default(),
+        );
         let mut all: Vec<usize> = out.constellation.clone();
         all.sort_unstable();
         all.dedup();

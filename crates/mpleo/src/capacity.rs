@@ -222,9 +222,12 @@ mod tests {
     fn service_monotone_in_capacity() {
         let vt = table(5);
         let idx: Vec<usize> = (0..8).collect();
-        let r1 = assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 1 }).served_steps;
-        let r2 = assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 2 }).served_steps;
-        let r4 = assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 4 }).served_steps;
+        let r1 =
+            assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 1 }).served_steps;
+        let r2 =
+            assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 2 }).served_steps;
+        let r4 =
+            assign_least_loaded(&vt, &idx, CapacityConfig { terminals_per_sat: 4 }).served_steps;
         assert!(r1 <= r2 && r2 <= r4, "{r1} {r2} {r4}");
     }
 

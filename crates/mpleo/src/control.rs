@@ -168,7 +168,12 @@ impl ControlGroup {
 
     /// Cast a vote on a pending proposal. Idempotent per party (first vote
     /// wins). Returns the proposal's state after the vote.
-    pub fn vote(&mut self, id: u64, party: &str, approve: bool) -> Result<ProposalState, ControlError> {
+    pub fn vote(
+        &mut self,
+        id: u64,
+        party: &str,
+        approve: bool,
+    ) -> Result<ProposalState, ControlError> {
         if !self.members.contains(party) {
             return Err(ControlError::UnknownParty(party.to_string()));
         }
@@ -229,10 +234,7 @@ mod tests {
     use super::*;
 
     fn group() -> ControlGroup {
-        let mut g = ControlGroup::new(
-            ["a", "b", "c", "d", "e"].map(String::from),
-            3,
-        );
+        let mut g = ControlGroup::new(["a", "b", "c", "d", "e"].map(String::from), 3);
         g.register_satellite(1, "a");
         g.register_satellite(2, "b");
         g
@@ -241,9 +243,8 @@ mod tests {
     #[test]
     fn routine_owner_executes_immediately() {
         let mut g = group();
-        let st = g
-            .propose(1, 1, "a", Command::Routine { description: "trim attitude".into() })
-            .unwrap();
+        let st =
+            g.propose(1, 1, "a", Command::Routine { description: "trim attitude".into() }).unwrap();
         assert_eq!(st, ProposalState::Executed);
         assert_eq!(g.executed, vec![1]);
     }
@@ -251,9 +252,8 @@ mod tests {
     #[test]
     fn routine_non_owner_rejected() {
         let mut g = group();
-        let err = g
-            .propose(1, 1, "b", Command::Routine { description: "hijack".into() })
-            .unwrap_err();
+        let err =
+            g.propose(1, 1, "b", Command::Routine { description: "hijack".into() }).unwrap_err();
         assert_eq!(err, ControlError::NotOwner { party: "b".into(), owner: "a".into() });
         assert!(g.executed.is_empty());
     }

@@ -80,9 +80,8 @@ pub fn simulate_downlink(
         // satellite may be served by several stations at once (multiple
         // antennas on the ground segment; the satellite broadcasts).
         for station in 0..stations {
-            let visible: Vec<usize> = (0..n)
-                .filter(|&i| vt.bitset(sat_indices[i], station).get(k))
-                .collect();
+            let visible: Vec<usize> =
+                (0..n).filter(|&i| vt.bitset(sat_indices[i], station).get(k)).collect();
             if visible.is_empty() {
                 continue;
             }
@@ -120,10 +119,7 @@ pub fn simulate_downlink(
         peak = peak.max(total);
     }
     DownlinkReport {
-        final_backlog_bits: queues
-            .iter()
-            .map(|q| q.iter().map(|(_, b)| b).sum())
-            .collect(),
+        final_backlog_bits: queues.iter().map(|q| q.iter().map(|(_, b)| b).sum()).collect(),
         drained_bits: drained,
         peak_backlog_bits: peak,
         mean_drain_age_steps: if age_bits > 0.0 { age_weighted / age_bits } else { 0.0 },
@@ -148,18 +144,20 @@ mod tests {
         let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
         let sats = single_plane(n_sats, 550.0, 53.0, epoch);
         let gs: Vec<GroundSite> = (0..n_gs)
-            .map(|k| GroundSite::from_degrees(format!("GS{k}"), 25.0 + 10.0 * k as f64, 121.0 - 30.0 * k as f64))
+            .map(|k| {
+                GroundSite::from_degrees(
+                    format!("GS{k}"),
+                    25.0 + 10.0 * k as f64,
+                    121.0 - 30.0 * k as f64,
+                )
+            })
             .collect();
         let grid = TimeGrid::new(epoch, 86_400.0, 60.0);
         VisibilityTable::compute(&sats, &gs, &grid, &SimConfig::default().with_mask_deg(10.0))
     }
 
     fn cfg(policy: DownlinkPolicy) -> DownlinkConfig {
-        DownlinkConfig {
-            arrival_bits_per_step: 1.0e6,
-            drain_bits_per_step: 40.0e6,
-            policy,
-        }
+        DownlinkConfig { arrival_bits_per_step: 1.0e6, drain_bits_per_step: 40.0e6, policy }
     }
 
     #[test]
@@ -168,7 +166,8 @@ mod tests {
         let idx: Vec<usize> = (0..6).collect();
         let r = simulate_downlink(&vt, &idx, &cfg(DownlinkPolicy::MaxBacklog));
         let generated = 6.0 * vt.grid.steps as f64 * 1.0e6;
-        let accounted: f64 = r.drained_bits.iter().sum::<f64>() + r.final_backlog_bits.iter().sum::<f64>();
+        let accounted: f64 =
+            r.drained_bits.iter().sum::<f64>() + r.final_backlog_bits.iter().sum::<f64>();
         assert!((generated - accounted).abs() / generated < 1e-9, "{generated} vs {accounted}");
     }
 
@@ -178,11 +177,15 @@ mod tests {
         let vt = table(4, 2);
         let idx: Vec<usize> = (0..4).collect();
         // Trick: a config with zero drain shows pure accumulation.
-        let r = simulate_downlink(&vt, &idx, &DownlinkConfig {
-            arrival_bits_per_step: 1.0,
-            drain_bits_per_step: 0.0,
-            policy: DownlinkPolicy::MaxBacklog,
-        });
+        let r = simulate_downlink(
+            &vt,
+            &idx,
+            &DownlinkConfig {
+                arrival_bits_per_step: 1.0,
+                drain_bits_per_step: 0.0,
+                policy: DownlinkPolicy::MaxBacklog,
+            },
+        );
         assert!(r.drained_bits.iter().all(|&d| d == 0.0));
         assert!((r.peak_backlog_bits - 4.0 * vt.grid.steps as f64).abs() < 1e-9);
     }

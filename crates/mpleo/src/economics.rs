@@ -79,10 +79,7 @@ pub fn go_it_alone(
     target_availability: f64,
     model: &CostModel,
 ) -> Option<CoverageCost> {
-    let (sats, availability) = curve
-        .iter()
-        .find(|(_, a)| *a >= target_availability)
-        .copied()?;
+    let (sats, availability) = curve.iter().find(|(_, a)| *a >= target_availability).copied()?;
     Some(CoverageCost {
         own_sats: sats,
         effective_sats: sats,
@@ -102,10 +99,8 @@ pub fn mp_leo_share(
     model: &CostModel,
 ) -> Option<CoverageCost> {
     assert!(parties >= 1);
-    let (shared_total, availability) = curve
-        .iter()
-        .find(|(_, a)| *a >= target_availability)
-        .copied()?;
+    let (shared_total, availability) =
+        curve.iter().find(|(_, a)| *a >= target_availability).copied()?;
     let own = shared_total.div_ceil(parties);
     Some(CoverageCost {
         own_sats: own,

@@ -208,7 +208,12 @@ mod tests {
         let dying = FailureModel { mtbf_s: 2.0 * 86_400.0, launch_interval_s: 0.0, batch_size: 0 };
         let h = simulate_failures(&vt, &idx, 0, &healthy, 12, 4);
         let d = simulate_failures(&vt, &idx, 0, &dying, 12, 4);
-        assert!(d.mean_coverage() < h.mean_coverage(), "{} vs {}", d.mean_coverage(), h.mean_coverage());
+        assert!(
+            d.mean_coverage() < h.mean_coverage(),
+            "{} vs {}",
+            d.mean_coverage(),
+            h.mean_coverage()
+        );
     }
 
     #[test]

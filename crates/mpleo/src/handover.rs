@@ -119,10 +119,7 @@ mod tests {
                 assert!(vt.bitset(*s, 0).get(k), "serving an invisible satellite at {k}");
             }
         }
-        assert_eq!(
-            trace.connected_steps,
-            trace.serving.iter().filter(|s| s.is_some()).count()
-        );
+        assert_eq!(trace.connected_steps, trace.serving.iter().filter(|s| s.is_some()).count());
     }
 
     #[test]
@@ -148,7 +145,12 @@ mod tests {
         let idx: Vec<usize> = (0..vt.sat_count()).collect();
         let sticky = simulate_handover(&vt, 0, &idx, HandoverPolicy::StickyMaxDwell);
         let churny = simulate_handover(&vt, 0, &idx, HandoverPolicy::AlwaysBest);
-        assert!(sticky.handovers <= churny.handovers, "{} vs {}", sticky.handovers, churny.handovers);
+        assert!(
+            sticky.handovers <= churny.handovers,
+            "{} vs {}",
+            sticky.handovers,
+            churny.handovers
+        );
         // Same connectivity either way — policy only affects who serves.
         assert_eq!(sticky.connected_steps, churny.connected_steps);
     }

@@ -255,10 +255,9 @@ mod tests {
         let records = service_records(&vt, &idx);
         let (sat_owner, site_consumer) = owners();
         let counts = visible_count_matrix(&vt, &idx);
-        for pricing in [
-            PricingModel::Fixed { rate: 1.5 },
-            PricingModel::Dynamic { base: 1.0, surge: 3.0 },
-        ] {
+        for pricing in
+            [PricingModel::Fixed { rate: 1.5 }, PricingModel::Dynamic { base: 1.0, surge: 3.0 }]
+        {
             let s = settle(&records, &sat_owner, &site_consumer, pricing, &counts);
             let net: f64 = s.balances.values().sum();
             assert!(net.abs() < 1e-9, "credits not conserved: {net}");
@@ -277,7 +276,13 @@ mod tests {
         let idx: Vec<usize> = (0..6).collect();
         let records = service_records(&vt, &idx);
         let counts = visible_count_matrix(&vt, &idx);
-        let s = settle(&records, &sat_owner, &site_consumer, PricingModel::Fixed { rate: 1.0 }, &counts);
+        let s = settle(
+            &records,
+            &sat_owner,
+            &site_consumer,
+            PricingModel::Fixed { rate: 1.0 },
+            &counts,
+        );
         assert_eq!(s.volume, 0.0);
     }
 
@@ -288,7 +293,13 @@ mod tests {
         let records = service_records(&vt, &idx);
         let (sat_owner, site_consumer) = owners();
         let counts = visible_count_matrix(&vt, &idx);
-        let s = settle(&records, &sat_owner, &site_consumer, PricingModel::Fixed { rate: 1.0 }, &counts);
+        let s = settle(
+            &records,
+            &sat_owner,
+            &site_consumer,
+            PricingModel::Fixed { rate: 1.0 },
+            &counts,
+        );
         // Gamma only consumes (owns no satellites): non-positive balance.
         assert!(s.balance(&PartyId::new("gamma")) <= 0.0);
         // Beta only provides (consumes nothing): non-negative balance.

@@ -188,7 +188,11 @@ mod tests {
                 lat_deg: 25.03,
                 lon_deg: 121.56,
             }],
-            policies: ManifestPolicies { poc_quorum: 2, control_quorum: 2, min_elevation_deg: 25.0 },
+            policies: ManifestPolicies {
+                poc_quorum: 2,
+                control_quorum: 2,
+                min_elevation_deg: 25.0,
+            },
         }
     }
 

@@ -144,11 +144,7 @@ mod tests {
 
     #[test]
     fn party_stake() {
-        let p = Party {
-            id: "taiwan".into(),
-            kind: PartyKind::Country,
-            satellites: vec![0, 5, 9],
-        };
+        let p = Party { id: "taiwan".into(), kind: PartyKind::Country, satellites: vec![0, 5, 9] };
         assert_eq!(p.stake(), 3);
         assert_eq!(p.id.to_string(), "taiwan");
     }

@@ -98,7 +98,9 @@ pub fn phase_sweep(
     let candidates: Vec<Satellite> = offsets
         .iter()
         .enumerate()
-        .map(|(k, &deg)| satellite_at(&format!("CAND-{deg:02.0}"), 1000 + k as u32, 546.0, 53.0, 0.0, deg, epoch))
+        .map(|(k, &deg)| {
+            satellite_at(&format!("CAND-{deg:02.0}"), 1000 + k as u32, 546.0, 53.0, 0.0, deg, epoch)
+        })
         .collect();
     let mut all = base.clone();
     all.extend(candidates);
@@ -196,9 +198,8 @@ pub fn greedy_select(
     assert!(k <= candidates.len(), "cannot select {k} from {}", candidates.len());
     assert_eq!(weights.len(), vt.site_count(), "weights/site mismatch");
     // Maintain per-site union coverage incrementally.
-    let mut covered: Vec<TimeBitset> = (0..vt.site_count())
-        .map(|site| vt.coverage_union(base, site))
-        .collect();
+    let mut covered: Vec<TimeBitset> =
+        (0..vt.site_count()).map(|site| vt.coverage_union(base, site)).collect();
     let mut remaining: Vec<usize> = candidates.to_vec();
     let mut chosen = Vec::with_capacity(k);
     for _ in 0..k {
@@ -349,10 +350,7 @@ mod tests {
         let grid = TimeGrid::new(epoch(), 2.0 * 86_400.0, 60.0);
         let points = phase_sweep(&sites, &w, &grid, &SimConfig::default(), epoch());
         assert_eq!(points.len(), 29);
-        let best = points
-            .iter()
-            .max_by(|a, b| a.gain_s.partial_cmp(&b.gain_s).unwrap())
-            .unwrap();
+        let best = points.iter().max_by(|a, b| a.gain_s.partial_cmp(&b.gain_s).unwrap()).unwrap();
         // Paper: maximum at the midpoint (15 deg). Allow a modest band for
         // the shortened horizon used in unit tests.
         assert!(
@@ -404,7 +402,12 @@ mod tests {
         };
         // Greedy is within the classic (1 - 1/e) bound of optimal for
         // submodular coverage; on instances this small it is usually exact.
-        assert!(cov(&greedy) >= 0.63 * cov(&exact), "greedy {} exact {}", cov(&greedy), cov(&exact));
+        assert!(
+            cov(&greedy) >= 0.63 * cov(&exact),
+            "greedy {} exact {}",
+            cov(&greedy),
+            cov(&exact)
+        );
     }
 
     #[test]

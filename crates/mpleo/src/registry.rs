@@ -39,6 +39,10 @@ impl ConstellationRegistry {
     }
 
     /// Build a registry from explicit per-party satellite counts.
+    ///
+    /// Each party's index list is sorted here, once, at build time —
+    /// [`Self::remaining_after_withdrawal`] relies on that precomputed
+    /// ordering on its hot path.
     pub fn from_counts(
         sat_count: usize,
         counts: &[usize],
@@ -67,10 +71,7 @@ impl ConstellationRegistry {
 
     /// The party with the largest stake (first on ties).
     pub fn largest_party(&self) -> &Party {
-        self.parties
-            .iter()
-            .max_by_key(|p| p.stake())
-            .expect("registry has at least one party")
+        self.parties.iter().max_by_key(|p| p.stake()).expect("registry has at least one party")
     }
 
     /// Find a party by id.
@@ -84,12 +85,30 @@ impl ConstellationRegistry {
     }
 
     /// Satellite indices remaining if `id` withdraws.
+    ///
+    /// Hot path for the robustness and churn experiments, which withdraw
+    /// repeatedly over many runs. [`Self::from_counts`] sorts each party's
+    /// index list at build time, so the withdrawn set is already a sorted
+    /// index set and one merge sweep over `0..sat_count` suffices — no
+    /// per-call hash set.
     pub fn remaining_after_withdrawal(&self, id: &PartyId) -> Vec<usize> {
-        let withdrawn: std::collections::HashSet<usize> = self
-            .party(id)
-            .map(|p| p.satellites.iter().cloned().collect())
-            .unwrap_or_default();
-        (0..self.sat_count).filter(|i| !withdrawn.contains(i)).collect()
+        let withdrawn: &[usize] = self.party(id).map(|p| p.satellites.as_slice()).unwrap_or(&[]);
+        debug_assert!(
+            withdrawn.windows(2).all(|w| w[0] < w[1]),
+            "party index lists are sorted at build time"
+        );
+        let mut remaining = Vec::with_capacity(self.sat_count.saturating_sub(withdrawn.len()));
+        let mut w = 0;
+        for i in 0..self.sat_count {
+            while w < withdrawn.len() && withdrawn[w] < i {
+                w += 1;
+            }
+            if w < withdrawn.len() && withdrawn[w] == i {
+                continue;
+            }
+            remaining.push(i);
+        }
+        remaining
     }
 
     /// All satellite indices.
@@ -149,7 +168,12 @@ mod tests {
 
     #[test]
     fn largest_party_and_stake() {
-        let reg = ConstellationRegistry::from_ratios(1000, &skewed_ratios(10.0, 10), PartyKind::Country, None);
+        let reg = ConstellationRegistry::from_ratios(
+            1000,
+            &skewed_ratios(10.0, 10),
+            PartyKind::Country,
+            None,
+        );
         let big = reg.largest_party();
         assert_eq!(big.stake(), 500);
         assert!((reg.stake_fraction(&big.id) - 0.5).abs() < 1e-12);
@@ -170,6 +194,39 @@ mod tests {
         let withdrawn: std::collections::HashSet<usize> =
             reg.largest_party().satellites.iter().cloned().collect();
         assert!(remaining.iter().all(|i| !withdrawn.contains(i)));
+    }
+
+    #[test]
+    fn repeated_withdrawal_is_idempotent_and_matches_set_filter() {
+        // Regression for the sorted-sweep rewrite: repeated calls must
+        // return identical results, and every shuffled registry must agree
+        // with the straightforward set-based reference.
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let reg = ConstellationRegistry::from_ratios(
+                97,
+                &skewed_ratios(2.0, 5),
+                PartyKind::Company,
+                Some(&mut rng),
+            );
+            for party in &reg.parties {
+                let first = reg.remaining_after_withdrawal(&party.id);
+                let second = reg.remaining_after_withdrawal(&party.id);
+                assert_eq!(first, second, "repeated withdrawal must be idempotent");
+                let withdrawn: std::collections::HashSet<usize> =
+                    party.satellites.iter().cloned().collect();
+                let reference: Vec<usize> =
+                    (0..reg.sat_count).filter(|i| !withdrawn.contains(i)).collect();
+                assert_eq!(first, reference, "sweep must match the set filter");
+                assert!(first.windows(2).all(|w| w[0] < w[1]), "output stays sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn withdrawal_of_whole_registry_leaves_nothing() {
+        let reg = ConstellationRegistry::from_counts(6, &[6], PartyKind::Country, None);
+        assert!(reg.remaining_after_withdrawal(&reg.parties[0].id).is_empty());
     }
 
     #[test]

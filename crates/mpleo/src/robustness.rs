@@ -38,17 +38,13 @@ pub fn withdrawal_loss(
     weights: &[f64],
 ) -> WithdrawalLoss {
     let withdrawn_set: std::collections::HashSet<usize> = withdrawn.iter().cloned().collect();
-    let remaining: Vec<usize> = all.iter().cloned().filter(|i| !withdrawn_set.contains(i)).collect();
+    let remaining: Vec<usize> =
+        all.iter().cloned().filter(|i| !withdrawn_set.contains(i)).collect();
     let before_s = weighted_coverage_s(vt, all, weights);
     let after_s = weighted_coverage_s(vt, &remaining, weights);
     let horizon = vt.grid.duration_s().max(vt.grid.step_s);
     let loss_s = before_s - after_s;
-    WithdrawalLoss {
-        before_s,
-        after_s,
-        loss_s,
-        loss_pct_of_horizon: 100.0 * loss_s / horizon,
-    }
+    WithdrawalLoss { before_s, after_s, loss_s, loss_pct_of_horizon: 100.0 * loss_s / horizon }
 }
 
 /// Fig. 5 body: build a base constellation of `l` satellites sampled from
@@ -118,11 +114,7 @@ mod tests {
     }
 
     fn pool_table(planes: u32, per_plane: u32, mask_deg: f64) -> (VisibilityTable, Vec<f64>) {
-        let spec = ShellSpec {
-            planes,
-            sats_per_plane: per_plane,
-            ..ShellSpec::starlink_like()
-        };
+        let spec = ShellSpec { planes, sats_per_plane: per_plane, ..ShellSpec::starlink_like() };
         let sats = walker_delta(&spec, epoch());
         let sites = vec![
             GroundSite::from_degrees("Tokyo", 35.69, 139.69),
@@ -170,12 +162,7 @@ mod tests {
         let (vt, w) = pool_table(16, 10, 5.0); // pool of 160, low mask -> saturating coverage
         let small = half_withdrawal_experiment(&vt, 20, &w, 10, 42);
         let large = half_withdrawal_experiment(&vt, 140, &w, 10, 42);
-        assert!(
-            small.mean > large.mean,
-            "L=20 loss {}% vs L=140 loss {}%",
-            small.mean,
-            large.mean
-        );
+        assert!(small.mean > large.mean, "L=20 loss {}% vs L=140 loss {}%", small.mean, large.mean);
     }
 
     #[test]
@@ -185,12 +172,7 @@ mod tests {
         let (vt, w) = pool_table(16, 10, 5.0);
         let equal = skewed_withdrawal_experiment(&vt, 110, 1.0, 10, &w, 10, 7);
         let skewed = skewed_withdrawal_experiment(&vt, 110, 10.0, 10, &w, 10, 7);
-        assert!(
-            skewed.mean > equal.mean,
-            "equal {}% vs 10:1 {}%",
-            equal.mean,
-            skewed.mean
-        );
+        assert!(skewed.mean > equal.mean, "equal {}% vs 10:1 {}%", equal.mean, skewed.mean);
     }
 
     #[test]

@@ -100,11 +100,7 @@ mod tests {
     use orbital::time::Epoch;
 
     fn grid(steps: usize) -> TimeGrid {
-        TimeGrid::new(
-            Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0),
-            (steps - 1) as f64 * 60.0,
-            60.0,
-        )
+        TimeGrid::new(Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0), (steps - 1) as f64 * 60.0, 60.0)
     }
 
     fn stats_for(covered: &TimeBitset, g: &TimeGrid) -> CoverageStats {

@@ -80,11 +80,8 @@ pub fn allocate(
     let mut channels = vec![u32::MAX; n];
     let mut used = 0u32;
     for &i in &order {
-        let taken: std::collections::BTreeSet<u32> = adj[i]
-            .iter()
-            .map(|&j| channels[j])
-            .filter(|&c| c != u32::MAX)
-            .collect();
+        let taken: std::collections::BTreeSet<u32> =
+            adj[i].iter().map(|&j| channels[j]).filter(|&c| c != u32::MAX).collect();
         let mut c = 0u32;
         while taken.contains(&c) {
             c += 1;
@@ -100,7 +97,11 @@ pub fn allocate(
 
 /// Validate a plan (any plan, not just greedy output) against the
 /// interference constraints. Returns conflicting index pairs.
-pub fn validate(deployments: &[Deployment], plan: &SpectrumPlan, radius_km: f64) -> Vec<(usize, usize)> {
+pub fn validate(
+    deployments: &[Deployment],
+    plan: &SpectrumPlan,
+    radius_km: f64,
+) -> Vec<(usize, usize)> {
     let mut conflicts = Vec::new();
     for i in 0..deployments.len() {
         for j in (i + 1)..deployments.len() {
@@ -150,9 +151,8 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_reported() {
-        let deps: Vec<Deployment> = (0..5)
-            .map(|k| dep(&format!("p{k}"), 25.0 + 0.01 * k as f64, 121.0))
-            .collect();
+        let deps: Vec<Deployment> =
+            (0..5).map(|k| dep(&format!("p{k}"), 25.0 + 0.01 * k as f64, 121.0)).collect();
         let err = allocate(&deps, 100.0, 3).unwrap_err();
         assert_eq!(err.needed, 5);
         assert_eq!(err.budget, 3);
@@ -181,9 +181,8 @@ mod tests {
 
     #[test]
     fn deterministic_allocation() {
-        let deps: Vec<Deployment> = (0..10)
-            .map(|k| dep(&format!("p{}", k % 4), 25.0 + 0.02 * k as f64, 121.0))
-            .collect();
+        let deps: Vec<Deployment> =
+            (0..10).map(|k| dep(&format!("p{}", k % 4), 25.0 + 0.02 * k as f64, 121.0)).collect();
         let a = allocate(&deps, 150.0, 16).unwrap();
         let b = allocate(&deps, 150.0, 16).unwrap();
         assert_eq!(a, b);
@@ -196,11 +195,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_deployments() -> impl Strategy<Value = Vec<Deployment>> {
-        proptest::collection::vec(
-            (0u8..6, -60.0f64..60.0, -179.0f64..179.0),
-            1..20,
-        )
-        .prop_map(|v| {
+        proptest::collection::vec((0u8..6, -60.0f64..60.0, -179.0f64..179.0), 1..20).prop_map(|v| {
             v.into_iter()
                 .map(|(p, lat, lon)| Deployment {
                     party: format!("p{p}"),

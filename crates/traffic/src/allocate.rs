@@ -152,14 +152,7 @@ mod tests {
     use crate::graph::Route;
 
     fn route(sat: usize, gateway: usize, access_mbps: f64) -> Option<Route> {
-        Some(Route {
-            sat,
-            gateway,
-            hops: 0,
-            path_km: 1000.0,
-            latency_ms: 5.0,
-            access_mbps,
-        })
+        Some(Route { sat, gateway, hops: 0, path_km: 1000.0, latency_ms: 5.0, access_mbps })
     }
 
     #[test]
@@ -240,6 +233,155 @@ mod tests {
         }
         for (g, &carried) in a.gateway_carried.iter().enumerate() {
             assert!(carried <= 260.0 + 1e-6, "gateway {g} over capacity: {carried}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::graph::{Route, StepRoutes};
+    use proptest::prelude::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    const N_GATEWAYS: usize = 3;
+    /// Saturation/fairness slack: the allocator freezes at `EPS = 1e-9`
+    /// residuals, so with magnitudes up to a few thousand Mbps any real
+    /// violation dwarfs this.
+    const TOL: f64 = 1e-5;
+
+    fn arb_route() -> impl Strategy<Value = Option<Route>> {
+        prop_oneof![
+            1 => Just(None),
+            4 => (0usize..6, 0usize..N_GATEWAYS, 1.0f64..2000.0).prop_map(
+                |(sat, gateway, access_mbps)| Some(Route {
+                    sat,
+                    gateway,
+                    hops: 0,
+                    path_km: 1500.0,
+                    latency_ms: 7.0,
+                    access_mbps,
+                })
+            ),
+        ]
+    }
+
+    /// (offered, routes, sat capacity, gateway capacity) scenarios small
+    /// enough to shrink well but rich enough to saturate either resource.
+    fn arb_scenario() -> impl Strategy<Value = (Vec<f64>, Vec<Option<Route>>, f64, f64)> {
+        (1usize..10).prop_flat_map(|n| {
+            (
+                prop::collection::vec(0.0f64..1000.0, n),
+                prop::collection::vec(arb_route(), n),
+                50.0f64..4000.0,
+                50.0f64..4000.0,
+            )
+        })
+    }
+
+    proptest! {
+        /// Served rates never exceed the offered load, the access link,
+        /// any satellite's throughput, or any gateway's backhaul; cities
+        /// without a route get nothing.
+        #[test]
+        fn never_exceeds_any_capacity((offered, routes, sat_cap, gw_cap) in arb_scenario()) {
+            let step = StepRoutes { routes: routes.clone() };
+            let a = allocate_step(&offered, &step, sat_cap, gw_cap, N_GATEWAYS);
+            for (c, &served) in a.served_mbps.iter().enumerate() {
+                prop_assert!(served >= 0.0);
+                match &routes[c] {
+                    Some(r) => prop_assert!(served <= offered[c].min(r.access_mbps) + TOL),
+                    None => prop_assert_eq!(served, 0.0),
+                }
+            }
+            for (&s, &carried) in &a.sat_carried {
+                prop_assert!(carried <= sat_cap + TOL, "sat {} over capacity: {}", s, carried);
+            }
+            for (g, &carried) in a.gateway_carried.iter().enumerate() {
+                prop_assert!(carried <= gw_cap + TOL, "gateway {} over capacity: {}", g, carried);
+            }
+        }
+
+        /// The allocation is invariant under permutation of the demand
+        /// order: progressive filling grows every active flow by the same
+        /// increment, so city order only changes the order of identical
+        /// float operations.
+        #[test]
+        fn invariant_under_demand_permutation(
+            (offered, routes, sat_cap, gw_cap) in arb_scenario(),
+            seed in 0u64..1_000,
+        ) {
+            let n = offered.len();
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+            let p_offered: Vec<f64> = perm.iter().map(|&c| offered[c]).collect();
+            let p_routes: Vec<Option<Route>> = perm.iter().map(|&c| routes[c]).collect();
+            let direct = allocate_step(
+                &offered,
+                &StepRoutes { routes: routes.clone() },
+                sat_cap,
+                gw_cap,
+                N_GATEWAYS,
+            );
+            let permuted = allocate_step(
+                &p_offered,
+                &StepRoutes { routes: p_routes },
+                sat_cap,
+                gw_cap,
+                N_GATEWAYS,
+            );
+            for (i, &c) in perm.iter().enumerate() {
+                let x = direct.served_mbps[c];
+                let y = permuted.served_mbps[i];
+                prop_assert!((x - y).abs() <= 1e-9, "city {}: {} vs {}", c, x, y);
+            }
+        }
+
+        /// Max-min fairness (bottleneck characterization): a flow below
+        /// its individual cap must cross a saturated resource on which no
+        /// co-member receives more — so no flow can gain without taking
+        /// from a flow that is no better off.
+        #[test]
+        fn max_min_bottleneck_condition((offered, routes, sat_cap, gw_cap) in arb_scenario()) {
+            let step = StepRoutes { routes: routes.clone() };
+            let a = allocate_step(&offered, &step, sat_cap, gw_cap, N_GATEWAYS);
+            for (c, &served) in a.served_mbps.iter().enumerate() {
+                let Some(r) = &routes[c] else { continue };
+                let cap = offered[c].min(r.access_mbps);
+                if cap <= TOL || served >= cap - TOL {
+                    continue; // individually capped: nothing to redistribute
+                }
+                let sat_carried = a.sat_carried.get(&r.sat).copied().unwrap_or(0.0);
+                let sat_saturated = sat_carried >= sat_cap - TOL;
+                let gw_saturated = a.gateway_carried[r.gateway] >= gw_cap - TOL;
+                prop_assert!(
+                    sat_saturated || gw_saturated,
+                    "flow {} sits at {} below its cap {} with slack everywhere",
+                    c,
+                    served,
+                    cap
+                );
+                let max_rate = |on: &dyn Fn(&Route) -> bool| {
+                    (0..routes.len())
+                        .filter(|&d| routes[d].as_ref().is_some_and(|rd| on(rd)))
+                        .map(|d| a.served_mbps[d])
+                        .fold(0.0, f64::max)
+                };
+                let mut bottlenecked = false;
+                if sat_saturated {
+                    bottlenecked |= served >= max_rate(&|rd: &Route| rd.sat == r.sat) - TOL;
+                }
+                if gw_saturated {
+                    bottlenecked |=
+                        served >= max_rate(&|rd: &Route| rd.gateway == r.gateway) - TOL;
+                }
+                prop_assert!(
+                    bottlenecked,
+                    "flow {} is not maximal on any of its saturated resources",
+                    c
+                );
+            }
         }
     }
 }

@@ -207,9 +207,9 @@ mod tests {
             assert_eq!(x.to_bits(), y.to_bits());
         }
         // Every city shows a clear diurnal swing over a full day.
-        for ci in 0..cities.len() {
+        for (ci, city) in cities.iter().enumerate() {
             let ratio = a.city_peak_trough(ci);
-            assert!(ratio > 2.0 && ratio < 6.0, "{}: peak/trough {ratio}", cities[ci].name);
+            assert!(ratio > 2.0 && ratio < 6.0, "{}: peak/trough {ratio}", city.name);
         }
     }
 

@@ -258,12 +258,8 @@ pub fn run_traffic_with_routes(
         total_served.push(alloc.total_served());
         // Engaged satellites: best-route access sats this step. Their
         // unused headroom is the party's sellable spare.
-        let mut engaged: Vec<usize> = routes.steps[k]
-            .routes
-            .iter()
-            .flatten()
-            .map(|r| r.sat)
-            .collect();
+        let mut engaged: Vec<usize> =
+            routes.steps[k].routes.iter().flatten().map(|r| r.sat).collect();
         engaged.sort_unstable();
         engaged.dedup();
         for s in engaged {
@@ -323,7 +319,10 @@ mod tests {
     }
 
     fn owners(n_sats: usize, n_cities: usize, n_parties: usize) -> (Vec<usize>, Vec<usize>) {
-        ((0..n_sats).map(|s| s % n_parties).collect(), (0..n_cities).map(|c| c % n_parties).collect())
+        (
+            (0..n_sats).map(|s| s % n_parties).collect(),
+            (0..n_cities).map(|c| c % n_parties).collect(),
+        )
     }
 
     #[test]
@@ -333,7 +332,13 @@ mod tests {
         let (sat_party, city_party) = owners(store.sat_count(), cities.len(), 3);
         let cfg = TrafficConfig::default();
         let report = run_traffic(
-            &store, &cities, &gateways, &SimConfig::default(), &cfg, &sat_party, &city_party,
+            &store,
+            &cities,
+            &gateways,
+            &SimConfig::default(),
+            &cfg,
+            &sat_party,
+            &city_party,
             &parties,
         );
         assert_eq!(report.cities.len(), 21);
@@ -346,8 +351,7 @@ mod tests {
         }
         // Party accounting closes: sums of party series match the totals.
         for k in 0..report.steps {
-            let po: f64 =
-                (0..3).map(|p| report.party_offered[p * report.steps + k]).sum();
+            let po: f64 = (0..3).map(|p| report.party_offered[p * report.steps + k]).sum();
             let ps: f64 = (0..3).map(|p| report.party_served[p * report.steps + k]).sum();
             let pc: f64 = (0..3).map(|p| report.party_carried[p * report.steps + k]).sum();
             assert!((po - report.total_offered_steps[k]).abs() < 1e-6);
@@ -370,8 +374,14 @@ mod tests {
         let cfg = TrafficConfig::default();
         let run = || {
             run_traffic(
-                &store, &cities, &gateways, &SimConfig::default(), &cfg, &sat_party,
-                &city_party, &parties,
+                &store,
+                &cities,
+                &gateways,
+                &SimConfig::default(),
+                &cfg,
+                &sat_party,
+                &city_party,
+                &parties,
             )
         };
         let a = run();
@@ -396,8 +406,14 @@ mod tests {
         let served_at = |scale: f64| {
             let cfg = TrafficConfig { demand_scale: scale, ..TrafficConfig::default() };
             run_traffic(
-                &store, &cities, &gateways, &SimConfig::default(), &cfg, &sat_party,
-                &city_party, &parties,
+                &store,
+                &cities,
+                &gateways,
+                &SimConfig::default(),
+                &cfg,
+                &sat_party,
+                &city_party,
+                &parties,
             )
             .total_served_steps
             .iter()
@@ -415,7 +431,13 @@ mod tests {
         let (sat_party, city_party) = owners(store.sat_count(), cities.len(), 1);
         let cfg = TrafficConfig { demand_scale: 0.0, ..TrafficConfig::default() };
         let report = run_traffic(
-            &store, &cities, &gateways, &SimConfig::default(), &cfg, &sat_party, &city_party,
+            &store,
+            &cities,
+            &gateways,
+            &SimConfig::default(),
+            &cfg,
+            &sat_party,
+            &city_party,
             &parties,
         );
         assert_eq!(report.served_ratio(), 1.0, "no demand means nothing to drop");

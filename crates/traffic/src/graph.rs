@@ -104,9 +104,45 @@ impl RouteTable {
         if total == 0 {
             return 0.0;
         }
-        let routed: usize =
-            self.steps.iter().map(|s| s.routes.iter().flatten().count()).sum();
+        let routed: usize = self.steps.iter().map(|s| s.routes.iter().flatten().count()).sum();
         routed as f64 / total as f64
+    }
+}
+
+/// Availability and degradation overlay for one step of masked routing.
+///
+/// The churn engine (see [`crate::churn`]) fails satellites, takes
+/// gateways offline, and degrades regional link budgets mid-campaign;
+/// routing reacts by recomputing the step under this mask. An all-up mask
+/// reproduces the unmasked snapshot bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepMask {
+    /// Per-satellite availability (store row order); a down satellite can
+    /// neither serve terminals nor relay ISL traffic.
+    pub sat_ok: Vec<bool>,
+    /// Per-gateway availability.
+    pub gateway_ok: Vec<bool>,
+    /// Per-terminal multiplier on access-link capacity, `[0, 1]` (regional
+    /// link-budget degradation; 0 = total outage, the route stays for
+    /// latency accounting but carries nothing).
+    pub terminal_factor: Vec<f64>,
+}
+
+impl StepMask {
+    /// Everything up, nothing degraded.
+    pub fn nominal(n_sats: usize, n_gateways: usize, n_terminals: usize) -> StepMask {
+        StepMask {
+            sat_ok: vec![true; n_sats],
+            gateway_ok: vec![true; n_gateways],
+            terminal_factor: vec![1.0; n_terminals],
+        }
+    }
+
+    /// Whether the mask changes nothing.
+    pub fn is_nominal(&self) -> bool {
+        self.sat_ok.iter().all(|&v| v)
+            && self.gateway_ok.iter().all(|&v| v)
+            && self.terminal_factor.iter().all(|&f| f == 1.0)
     }
 }
 
@@ -133,29 +169,62 @@ fn step_routes(
     graph: &GraphConfig,
     k: usize,
 ) -> StepRoutes {
+    step_routes_inner(store, terminals, gateways, sim, graph, k, None)
+}
+
+/// [`RouteTable::build`]'s per-step kernel under an availability mask:
+/// down satellites vanish from both the access and relay roles, down
+/// gateways from the downlink candidates, and each terminal's access
+/// capacity is scaled by its degradation factor. Pure and sequential like
+/// the unmasked kernel, so churn campaigns stay thread-count invariant.
+pub fn step_routes_masked(
+    store: &EphemerisStore,
+    terminals: &[GroundSite],
+    gateways: &[GroundSite],
+    sim: &SimConfig,
+    graph: &GraphConfig,
+    k: usize,
+    mask: &StepMask,
+) -> StepRoutes {
+    assert_eq!(mask.sat_ok.len(), store.sat_count(), "one flag per satellite");
+    assert_eq!(mask.gateway_ok.len(), gateways.len(), "one flag per gateway");
+    assert_eq!(mask.terminal_factor.len(), terminals.len(), "one factor per terminal");
+    step_routes_inner(store, terminals, gateways, sim, graph, k, Some(mask))
+}
+
+fn step_routes_inner(
+    store: &EphemerisStore,
+    terminals: &[GroundSite],
+    gateways: &[GroundSite],
+    sim: &SimConfig,
+    graph: &GraphConfig,
+    k: usize,
+    mask: Option<&StepMask>,
+) -> StepRoutes {
     let n = store.sat_count();
     let sin_mask = sim.min_elevation_deg.to_radians().sin();
     let positions: Vec<Vec3> = (0..n).map(|s| store.position(s, k)).collect();
+    let sat_ok = |s: usize| mask.is_none_or(|m| m.sat_ok[s]);
+    let gateway_ok = |g: usize| mask.is_none_or(|m| m.gateway_ok[g]);
 
     // Layer 0: satellites that see a gateway directly (best = nearest).
     let mut chain: Vec<Option<Downlink>> = positions
         .iter()
-        .map(|&p| {
+        .enumerate()
+        .map(|(s, &p)| {
+            if !sat_ok(s) {
+                return None;
+            }
             let mut best: Option<(usize, f64)> = None;
             for (g, gw) in gateways.iter().enumerate() {
-                if gw.sees_ecef_sin(p, sin_mask) {
+                if gateway_ok(g) && gw.sees_ecef_sin(p, sin_mask) {
                     let r = gw.ecef.distance(p);
                     if best.is_none_or(|(_, br)| r < br) {
                         best = Some((g, r));
                     }
                 }
             }
-            best.map(|(gateway, r)| Downlink {
-                gateway,
-                dist_km: r,
-                hops: 0,
-                down_range_km: r,
-            })
+            best.map(|(gateway, r)| Downlink { gateway, dist_km: r, hops: 0, down_range_km: r })
         })
         .collect();
 
@@ -169,7 +238,7 @@ fn step_routes(
         }
         let mut joined = Vec::new();
         for s in 0..n {
-            if chain[s].is_some() {
+            if chain[s].is_some() || !sat_ok(s) {
                 continue;
             }
             let mut best: Option<Downlink> = None;
@@ -202,7 +271,9 @@ fn step_routes(
     let down = RfLeg::ku_gateway_downlink();
     let routes = terminals
         .iter()
-        .map(|t| {
+        .enumerate()
+        .map(|(ti, t)| {
+            let factor = mask.map_or(1.0, |m| m.terminal_factor[ti]).clamp(0.0, 1.0);
             let mut best: Option<Route> = None;
             for (s, c) in chain.iter().enumerate() {
                 let Some(c) = c else { continue };
@@ -225,7 +296,7 @@ fn step_routes(
                         hops: c.hops,
                         path_km,
                         latency_ms: path_km / C_KM_S * 1000.0,
-                        access_mbps: per_channel * graph.channels_per_link as f64 / 1e6,
+                        access_mbps: factor * per_channel * graph.channels_per_link as f64 / 1e6,
                     });
                 }
             }
@@ -302,12 +373,8 @@ mod tests {
             t_bent.routability()
         );
         // Relay routes must actually report hops and longer paths.
-        let hops: usize = t_isl
-            .steps
-            .iter()
-            .flat_map(|s| s.routes.iter().flatten())
-            .map(|r| r.hops)
-            .sum();
+        let hops: usize =
+            t_isl.steps.iter().flat_map(|s| s.routes.iter().flatten()).map(|r| r.hops).sum();
         assert!(hops > 0, "a trans-Pacific gateway requires relaying");
     }
 
@@ -332,6 +399,102 @@ mod tests {
                     }
                     _ => panic!("route presence differs between thread counts"),
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_mask_reproduces_unmasked_routes() {
+        let st = store(4, 6, 3.0);
+        let cities = paper_cities();
+        let terms: Vec<GroundSite> = cities.iter().take(5).map(|c| c.site()).collect();
+        let gw = gateways_every_nth(&cities[..5], 2);
+        let sim = SimConfig::default();
+        let cfg = GraphConfig::default();
+        let table = RouteTable::build(&st, &terms, &gw, &sim, &cfg);
+        let mask = StepMask::nominal(st.sat_count(), gw.len(), terms.len());
+        assert!(mask.is_nominal());
+        for (k, unmasked) in table.steps.iter().enumerate() {
+            let masked = step_routes_masked(&st, &terms, &gw, &sim, &cfg, k, &mask);
+            for (a, b) in masked.routes.iter().zip(&unmasked.routes) {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.sat, y.sat);
+                        assert_eq!(x.gateway, y.gateway);
+                        assert_eq!(x.path_km.to_bits(), y.path_km.to_bits());
+                        assert_eq!(x.access_mbps.to_bits(), y.access_mbps.to_bits());
+                    }
+                    _ => panic!("nominal mask changed route presence at step {k}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downed_satellites_and_gateways_kill_routes() {
+        let st = store(4, 6, 3.0);
+        let cities = paper_cities();
+        let terms: Vec<GroundSite> = cities.iter().take(4).map(|c| c.site()).collect();
+        let gw = gateways_every_nth(&cities[..4], 2);
+        let sim = SimConfig::default();
+        let cfg = GraphConfig::default();
+        let mut all_sats_down = StepMask::nominal(st.sat_count(), gw.len(), terms.len());
+        all_sats_down.sat_ok.fill(false);
+        let mut all_gws_down = StepMask::nominal(st.sat_count(), gw.len(), terms.len());
+        all_gws_down.gateway_ok.fill(false);
+        for k in 0..st.steps() {
+            for mask in [&all_sats_down, &all_gws_down] {
+                let routes = step_routes_masked(&st, &terms, &gw, &sim, &cfg, k, mask);
+                assert!(routes.routes.iter().all(|r| r.is_none()), "step {k} still routed");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_access_satellite_is_rerouted_or_dropped() {
+        let st = store(4, 6, 3.0);
+        let cities = paper_cities();
+        let terms: Vec<GroundSite> = cities.iter().take(3).map(|c| c.site()).collect();
+        let gw = gateways_every_nth(&cities[..3], 1);
+        let sim = SimConfig::default();
+        let cfg = GraphConfig::default();
+        let table = RouteTable::build(&st, &terms, &gw, &sim, &cfg);
+        let mut exercised = false;
+        for (k, step) in table.steps.iter().enumerate() {
+            let Some(r) = &step.routes[0] else { continue };
+            let mut mask = StepMask::nominal(st.sat_count(), gw.len(), terms.len());
+            mask.sat_ok[r.sat] = false;
+            let masked = step_routes_masked(&st, &terms, &gw, &sim, &cfg, k, &mask);
+            if let Some(m) = &masked.routes[0] {
+                assert_ne!(m.sat, r.sat, "step {k} kept its failed access satellite");
+            }
+            exercised = true;
+        }
+        assert!(exercised, "scenario never routed terminal 0");
+    }
+
+    #[test]
+    fn terminal_factor_scales_access_capacity() {
+        let st = store(4, 6, 3.0);
+        let cities = paper_cities();
+        let terms: Vec<GroundSite> = cities.iter().take(2).map(|c| c.site()).collect();
+        let gw = gateways_every_nth(&cities[..2], 1);
+        let sim = SimConfig::default();
+        let cfg = GraphConfig::default();
+        let table = RouteTable::build(&st, &terms, &gw, &sim, &cfg);
+        let mut mask = StepMask::nominal(st.sat_count(), gw.len(), terms.len());
+        mask.terminal_factor[0] = 0.5;
+        for (k, step) in table.steps.iter().enumerate() {
+            let masked = step_routes_masked(&st, &terms, &gw, &sim, &cfg, k, &mask);
+            if let (Some(m), Some(u)) = (&masked.routes[0], &step.routes[0]) {
+                // Path selection ignores capacity, so the route is the same
+                // and its capacity is exactly halved.
+                assert_eq!(m.sat, u.sat);
+                assert_eq!(m.access_mbps.to_bits(), (0.5 * u.access_mbps).to_bits());
+            }
+            if let (Some(m), Some(u)) = (&masked.routes[1], &step.routes[1]) {
+                assert_eq!(m.access_mbps.to_bits(), u.access_mbps.to_bits());
             }
         }
     }

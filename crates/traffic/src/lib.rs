@@ -19,7 +19,11 @@
 //!    load, per-party accounting);
 //! 5. [`market`] — the epoch summarizer converting each party's
 //!    surplus/deficit into signed [`dcp`] market orders, so the capacity
-//!    market runs on demand-driven order flow.
+//!    market runs on demand-driven order flow;
+//! 6. [`churn`] — time-scheduled campaigns of membership events (satellite
+//!    fail/recover, party withdrawal, gateway outages, regional
+//!    degradation) applied between engine steps, with per-step
+//!    graceful-degradation metrics against the undisturbed baseline.
 //!
 //! Everything is deterministic: demand jitter comes from per-city seeded
 //! streams, routing and allocation are pure functions of the ephemeris, and
@@ -27,17 +31,22 @@
 //! results are byte-identical at any thread count.
 
 pub mod allocate;
+pub mod churn;
 pub mod demand;
 pub mod engine;
 pub mod graph;
 pub mod market;
 
 pub use allocate::StepAllocation;
+pub use churn::{
+    run_campaign, run_campaign_with_routes, sample_failures, CampaignConfig, CampaignReport,
+    ChurnEvent, ChurnSchedule, ChurnState,
+};
 pub use demand::{DemandConfig, DemandMatrix};
 pub use engine::{
     run_traffic, run_traffic_with_routes, PartyTraffic, TrafficConfig, TrafficReport,
 };
-pub use graph::{gateways_every_nth, GraphConfig, Route, RouteTable};
+pub use graph::{gateways_every_nth, GraphConfig, Route, RouteTable, StepMask};
 pub use market::{
     clear_market, epoch_orders, party_keys, summarize_epochs, EpochSummary, PartyEpoch,
 };

@@ -256,3 +256,134 @@ mod tests {
         assert_eq!(a, b);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_summaries() -> impl Strategy<Value = Vec<EpochSummary>> {
+        (1usize..5, 1usize..4).prop_flat_map(|(n_parties, n_epochs)| {
+            prop::collection::vec(
+                (0.0f64..5000.0, 0.0f64..=1.0, 0.0f64..5000.0, 0.0f64..5000.0),
+                n_parties * n_epochs,
+            )
+            .prop_map(move |cells| {
+                (0..n_epochs)
+                    .map(|e| EpochSummary {
+                        epoch: e,
+                        start_step: e * 6,
+                        steps: 6,
+                        per_party: (0..n_parties)
+                            .map(|p| {
+                                let (offered, served_frac, carried, spare) =
+                                    cells[e * n_parties + p];
+                                PartyEpoch {
+                                    party: PartyId::new(format!("p{p}")),
+                                    offered_mbps: offered,
+                                    served_mbps: offered * served_frac,
+                                    carried_mbps: carried,
+                                    spare_mbps: spare,
+                                }
+                            })
+                            .collect(),
+                    })
+                    .collect()
+            })
+        })
+    }
+
+    fn keys_for(summaries: &[EpochSummary]) -> KeyDirectory {
+        let parties: Vec<PartyId> =
+            summaries[0].per_party.iter().map(|pe| pe.party.clone()).collect();
+        party_keys(&parties, b"market-proptest")
+    }
+
+    proptest! {
+        /// However the epochs look, the cleared book settles zero-sum and
+        /// every order verifies against the key directory.
+        #[test]
+        fn settlement_is_always_zero_sum(summaries in arb_summaries()) {
+            let keys = keys_for(&summaries);
+            let orders = epoch_orders(&summaries, &keys, 1.0);
+            for o in &orders {
+                prop_assert!(dcp::market::verify_order(&keys, o));
+            }
+            // (party, sequence) identifies an order: replays stay idempotent.
+            let mut ids: Vec<(&str, u64)> =
+                orders.iter().map(|o| (o.party.as_str(), o.sequence)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), orders.len(), "duplicate order identity");
+            let book = clear_market(&orders);
+            let net: f64 = book.settlement().values().sum();
+            prop_assert!(net.abs() < 1e-9, "settlement must be zero-sum: {}", net);
+        }
+
+        /// All-surplus epochs (every party fully served, spare on offer)
+        /// produce asks only — nothing crosses, nothing settles.
+        #[test]
+        fn all_surplus_epochs_never_trade(mut summaries in arb_summaries()) {
+            for s in &mut summaries {
+                for pe in &mut s.per_party {
+                    pe.served_mbps = pe.offered_mbps;
+                    pe.spare_mbps = pe.spare_mbps.max(1.0);
+                }
+            }
+            let keys = keys_for(&summaries);
+            let orders = epoch_orders(&summaries, &keys, 1.0);
+            prop_assert!(!orders.is_empty());
+            prop_assert!(orders.iter().all(|o| !o.is_bid), "surplus must only ask");
+            let book = clear_market(&orders);
+            prop_assert!(book.trades().is_empty());
+            prop_assert!(book.settlement().is_empty());
+        }
+
+        /// All-deficit epochs (every party starved, no spare) produce bids
+        /// only — again no trades, and the settlement stays empty.
+        #[test]
+        fn all_deficit_epochs_never_trade(mut summaries in arb_summaries()) {
+            for s in &mut summaries {
+                for pe in &mut s.per_party {
+                    pe.offered_mbps = pe.offered_mbps.max(2.0);
+                    pe.served_mbps = 0.0;
+                    pe.spare_mbps = 0.0;
+                }
+            }
+            let keys = keys_for(&summaries);
+            let orders = epoch_orders(&summaries, &keys, 1.0);
+            prop_assert!(!orders.is_empty());
+            prop_assert!(orders.iter().all(|o| o.is_bid), "deficit must only bid");
+            let book = clear_market(&orders);
+            prop_assert!(book.trades().is_empty());
+            prop_assert!(book.settlement().is_empty());
+        }
+
+        /// Degenerate single-party epochs: with both a deficit and spare
+        /// the party can only trade with itself, which nets to zero — the
+        /// market never mints or burns credits for a lone participant.
+        #[test]
+        fn single_party_epochs_net_to_zero(
+            offered in 10.0f64..5000.0,
+            served_frac in 0.0f64..0.5,
+            spare in 1.0f64..5000.0,
+        ) {
+            let pe = PartyEpoch {
+                party: PartyId::new("lone"),
+                offered_mbps: offered,
+                served_mbps: offered * served_frac,
+                carried_mbps: 10.0,
+                spare_mbps: spare,
+            };
+            let summaries =
+                vec![EpochSummary { epoch: 0, start_step: 0, steps: 6, per_party: vec![pe] }];
+            let keys = keys_for(&summaries);
+            let orders = epoch_orders(&summaries, &keys, 1.0);
+            prop_assert!(!orders.is_empty());
+            let book = clear_market(&orders);
+            for (party, net) in book.settlement() {
+                prop_assert!(net.abs() < 1e-9, "{} nets {}", party, net);
+            }
+        }
+    }
+}

@@ -41,11 +41,14 @@ async fn main() {
     let sub = subpoint(prop.position_at(epoch), epoch.gmst());
     scenario.add_ground_station(
         "alpha",
-        GroundSite::new("gs-alpha", orbital::frames::Geodetic {
-            latitude_rad: sub.latitude_rad,
-            longitude_rad: sub.longitude_rad,
-            altitude_km: 0.0,
-        }),
+        GroundSite::new(
+            "gs-alpha",
+            orbital::frames::Geodetic {
+                latitude_rad: sub.latitude_rad,
+                longitude_rad: sub.longitude_rad,
+                altitude_km: 0.0,
+            },
+        ),
     );
     let scenario = Arc::new(scenario);
 

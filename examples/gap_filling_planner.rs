@@ -35,15 +35,7 @@ fn main() {
     for incl in [43.0, 53.0, 70.0] {
         for raan in [0.0, 60.0, 120.0, 180.0, 240.0, 300.0] {
             for phase in [0.0, 90.0, 180.0, 270.0] {
-                all.push(satellite_at(
-                    &format!("CAND-{id}"),
-                    id,
-                    550.0,
-                    incl,
-                    raan,
-                    phase,
-                    epoch,
-                ));
+                all.push(satellite_at(&format!("CAND-{id}"), id, 550.0, incl, raan, phase, epoch));
                 id += 1;
             }
         }

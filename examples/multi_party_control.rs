@@ -40,8 +40,14 @@ async fn main() {
     // Scene 1: the owner tries to cut service over Taiwan.
     println!("usa-isp proposes: RegionShutdown(Taiwan)");
     nodes[0].publish(GossipItem::Control(
-        ControlEvent::propose(&keys, 1, 42, "usa-isp", Command::RegionShutdown { region: "Taiwan".into() })
-            .unwrap(),
+        ControlEvent::propose(
+            &keys,
+            1,
+            42,
+            "usa-isp",
+            Command::RegionShutdown { region: "Taiwan".into() },
+        )
+        .unwrap(),
     ));
     println!("taiwan votes NO, korea votes NO");
     nodes[1].publish(GossipItem::Control(ControlEvent::vote(&keys, 1, "taiwan", false).unwrap()));

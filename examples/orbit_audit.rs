@@ -47,7 +47,9 @@ fn main() {
     scenario.add_satellite(1, forged);
     match audit_published_elements(&scenario, 1, "auditor", &obs, 1.0).unwrap() {
         ElementAudit::Forged { published_rms_km, fitted, fitted_rms_km } => {
-            println!("\n[forged publication]  published elements misfit by {published_rms_km:.0} km");
+            println!(
+                "\n[forged publication]  published elements misfit by {published_rms_km:.0} km"
+            );
             println!(
                 "refit from our own ranges: RAAN {:.2} deg (published {:.2}, truth {:.2}), residual {:.3} km",
                 fitted.raan_rad.to_degrees(),

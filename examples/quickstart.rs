@@ -15,13 +15,14 @@ fn main() {
     // 1. Synthesize a 288-satellite Walker constellation (Starlink-like
     //    shell parameters, scaled down).
     let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
-    let spec = ShellSpec {
-        planes: 24,
-        sats_per_plane: 12,
-        ..ShellSpec::starlink_like()
-    };
+    let spec = ShellSpec { planes: 24, sats_per_plane: 12, ..ShellSpec::starlink_like() };
     let sats = walker_delta(&spec, epoch);
-    println!("constellation: {} satellites ({} planes x {})", sats.len(), spec.planes, spec.sats_per_plane);
+    println!(
+        "constellation: {} satellites ({} planes x {})",
+        sats.len(),
+        spec.planes,
+        spec.sats_per_plane
+    );
 
     // 2. Three parties contribute in a 2:1:1 stake split, interleaved.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
@@ -44,8 +45,11 @@ fn main() {
     // 4. Coverage with everyone participating.
     let all = registry.all_indices();
     let full = CoverageStats::from_bitset(&vt.coverage_union(&all, 0), &grid);
-    println!("\nwith all parties:   coverage {:.1}%  max gap {}", full.covered_fraction * 100.0,
-        orbital::time::format_duration(full.max_gap_s));
+    println!(
+        "\nwith all parties:   coverage {:.1}%  max gap {}",
+        full.covered_fraction * 100.0,
+        orbital::time::format_duration(full.max_gap_s)
+    );
 
     // 5. Coverage if the largest party withdraws.
     let largest = registry.largest_party().id.clone();

@@ -43,7 +43,8 @@ fn main() {
     let own50 = sample_indices(&mut rng, pool.len(), 50);
     let (mean50, worst50) = coverage_of(&own50);
     println!("coverage: mean {mean50:.1}%, worst site {worst50:.1}%");
-    let idle = mean_idle_fraction(&vt_subset(&vt, &own50), &(0..receivers.len()).collect::<Vec<_>>());
+    let idle =
+        mean_idle_fraction(&vt_subset(&vt, &own50), &(0..receivers.len()).collect::<Vec<_>>());
     println!("satellite idle time over Taiwan: {:.1}% — capacity mostly wasted", idle * 100.0);
 
     println!("\n--- option 2: MP-LEO, contribute 50 of a shared 1000 ---");

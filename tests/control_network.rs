@@ -37,14 +37,12 @@ async fn quorum_deorbit_executes_across_mesh() {
         ControlEvent::propose(&net.keys, 1, 7, "a", Command::Deorbit).unwrap(),
     ));
     // Proposer's implicit approval + one vote = two approvals, below quorum.
-    net.nodes[1]
-        .publish(GossipItem::Control(ControlEvent::vote(&net.keys, 1, "b", true).unwrap()));
+    net.nodes[1].publish(GossipItem::Control(ControlEvent::vote(&net.keys, 1, "b", true).unwrap()));
     assert!(
         !wait_state(&net, 1, ProposalState::Executed, Duration::from_millis(300)).await,
         "two approvals must not execute a 3-quorum command"
     );
-    net.nodes[2]
-        .publish(GossipItem::Control(ControlEvent::vote(&net.keys, 1, "c", true).unwrap()));
+    net.nodes[2].publish(GossipItem::Control(ControlEvent::vote(&net.keys, 1, "c", true).unwrap()));
     assert!(
         wait_state(&net, 1, ProposalState::Executed, Duration::from_secs(5)).await,
         "third approval executes: {:?}",
@@ -93,13 +91,8 @@ async fn forged_control_events_ignored() {
         unreachable!()
     };
     // Replay a's signature on a proposal claiming to be from b.
-    let forged = ControlEvent::Propose {
-        proposal_id,
-        sat_id,
-        party: "b".into(),
-        command,
-        signature,
-    };
+    let forged =
+        ControlEvent::Propose { proposal_id, sat_id, party: "b".into(), command, signature };
     net.nodes[0].publish(GossipItem::Control(forged));
     assert!(net.all_converged(Duration::from_secs(2), 1).await);
     net.settle(Duration::from_millis(100)).await;

@@ -57,11 +57,7 @@ fn fig2_gap_structure() {
     let subset = sample_indices(&mut rng, vt.sat_count(), 100);
     let stats = CoverageStats::from_bitset(&vt.coverage_union(&subset, 0), &vt.grid);
     // Paper: continuous gaps of up to over an hour at 100 satellites.
-    assert!(
-        stats.max_gap_s > 1800.0,
-        "expected long gaps at 100 sats, max {}",
-        stats.max_gap_s
-    );
+    assert!(stats.max_gap_s > 1800.0, "expected long gaps at 100 sats, max {}", stats.max_gap_s);
     assert!(stats.gap_count > 10, "coverage is fragmented, {} gaps", stats.gap_count);
 }
 
@@ -127,9 +123,8 @@ fn population_weighting_pipeline() {
     let cov = mpleo::placement::weighted_coverage_s(&vt, &all, &weights);
     assert!(cov > 0.0 && cov <= grid.duration_s() + grid.step_s);
     // Weighted coverage is a convex combination: bounded by best/worst site.
-    let fracs: Vec<f64> = (0..sites.len())
-        .map(|site| vt.coverage_union(&all, site).fraction_ones())
-        .collect();
+    let fracs: Vec<f64> =
+        (0..sites.len()).map(|site| vt.coverage_union(&all, site).fraction_ones()).collect();
     let frac = cov / grid.duration_s();
     let lo = fracs.iter().cloned().fold(1.0f64, f64::min);
     let hi = fracs.iter().cloned().fold(0.0f64, f64::max);

@@ -10,20 +10,16 @@ use mpleo_bench::Fidelity;
 use std::fs;
 use std::path::PathBuf;
 
-const EXPERIMENTS: [&str; 3] = ["fig2", "ablation_elevation", "traffic_diurnal"];
+const EXPERIMENTS: [&str; 5] =
+    ["fig2", "ablation_elevation", "traffic_diurnal", "churn_withdrawal", "ablation_churn_rate"];
 
 /// Run the quick-fidelity subset at a thread count and return, per
 /// experiment id, the pretty JSON with `timing` zeroed out.
 fn suite_json(threads: usize, name: &str) -> Vec<(String, String)> {
     let out = std::env::temp_dir().join(format!("mpleo-determinism-{name}-t{threads}"));
     let _ = fs::remove_dir_all(&out);
-    let fidelity = Fidelity {
-        horizon_s: 6.0 * 3600.0,
-        step_s: 600.0,
-        runs: 3,
-        full: false,
-        threads,
-    };
+    let fidelity =
+        Fidelity { horizon_s: 6.0 * 3600.0, step_s: 600.0, runs: 3, full: false, threads };
     let opts = SuiteOptions {
         only: EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
         out_dir: Some(out.clone()),

@@ -23,8 +23,16 @@ fn tmp_out(name: &str) -> PathBuf {
 #[test]
 fn registry_covers_every_historical_binary() {
     let ids = registry::ids();
-    assert_eq!(ids.len(), 23);
-    for id in ["fig2", "fig5", "ablation_economics", "traffic_diurnal", "ablation_traffic_mix"] {
+    assert_eq!(ids.len(), 25);
+    for id in [
+        "fig2",
+        "fig5",
+        "ablation_economics",
+        "traffic_diurnal",
+        "ablation_traffic_mix",
+        "churn_withdrawal",
+        "ablation_churn_rate",
+    ] {
         assert!(registry::get(id).is_some(), "missing {id}");
     }
     // Ids are the JSON file stems; they must be filesystem-safe.

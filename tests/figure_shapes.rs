@@ -4,10 +4,10 @@
 
 use geodata::{paper_cities, population_weights, to_sites};
 use leosim::visibility::SimConfig;
+use leosim::visibility::VisibilityTable;
 use leosim::TimeGrid;
 use mpleo::placement::{category_study, phase_sweep, Category};
 use mpleo::robustness::{half_withdrawal_experiment, skewed_withdrawal_experiment};
-use leosim::visibility::VisibilityTable;
 use orbital::constellation::starlink_gen1_pool;
 use orbital::time::Epoch;
 
@@ -31,11 +31,7 @@ fn fig4b_midpoint_wins_and_edges_lose() {
     let best = points.iter().max_by(|a, b| a.gain_s.partial_cmp(&b.gain_s).unwrap()).unwrap();
     // Paper: maximum at 15 deg. Reduced fidelity may shift the peak by a
     // couple of degrees.
-    assert!(
-        (best.offset_deg - 15.0).abs() <= 4.0,
-        "peak at {} deg",
-        best.offset_deg
-    );
+    assert!((best.offset_deg - 15.0).abs() <= 4.0, "peak at {} deg", best.offset_deg);
     // Edge placements (1 and 29 deg, nearly co-located with existing sats)
     // must be among the worst.
     let min_gain = points.iter().map(|p| p.gain_s).fold(f64::INFINITY, f64::min);
@@ -68,12 +64,7 @@ fn fig4c_every_category_helps_and_diversity_beats_phase_at_week_scale() {
     );
     // Paper: every category gains over 30 minutes per week.
     for r in &results {
-        assert!(
-            r.gain_s > 30.0 * 60.0,
-            "{:?} gained only {} s",
-            r.category,
-            r.gain_s
-        );
+        assert!(r.gain_s > 30.0 * 60.0, "{:?} gained only {} s", r.category, r.gain_s);
     }
 }
 

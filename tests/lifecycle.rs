@@ -51,7 +51,8 @@ async fn full_constellation_lifecycle() {
 
     // ---- Phase 2: serve terminals and check capacity economics -------
     let constellation = outcome.constellation.clone();
-    let assignment = assign_least_loaded(&vt, &constellation, CapacityConfig { terminals_per_sat: 4 });
+    let assignment =
+        assign_least_loaded(&vt, &constellation, CapacityConfig { terminals_per_sat: 4 });
     assert!(assignment.service_ratio() > 0.99, "capacity 4 serves 21 spread-out cities");
     let spare = assignment.spare_capacity_steps(grid.steps);
     assert!(spare > 0, "spare capacity exists to sell");
@@ -139,7 +140,10 @@ async fn full_constellation_lifecycle() {
     assert!(loss.loss_s >= 0.0);
     let before_frac = loss.before_s / grid.duration_s();
     let after_frac = loss.after_s / grid.duration_s();
-    assert!(after_frac > 0.5 * before_frac, "degradation proportional: {before_frac} -> {after_frac}");
+    assert!(
+        after_frac > 0.5 * before_frac,
+        "degradation proportional: {before_frac} -> {after_frac}"
+    );
     // And the remaining coverage still exceeds what delta could build
     // alone with the same stake.
     let delta_alone = weighted_coverage_s(&vt, &withdrawn, &weights);

@@ -27,10 +27,7 @@ async fn orders_flood_and_books_converge() {
     let n = net.nodes.len();
     for (i, o) in orders.into_iter().enumerate() {
         net.nodes[i % n].publish(GossipItem::Order(o));
-        assert!(
-            net.all_converged(Duration::from_secs(5), i + 1).await,
-            "order {i} did not flood"
-        );
+        assert!(net.all_converged(Duration::from_secs(5), i + 1).await, "order {i} did not flood");
     }
     net.settle(Duration::from_millis(300)).await;
 

@@ -1,11 +1,11 @@
 //! The paper's motivating regions (§1: Taiwan, Ukraine, South Korea),
 //! evaluated with the regional-coverage machinery.
 
+use geodata::Region;
 use leosim::montecarlo::{run_rng, sample_indices};
 use leosim::region::region_coverage;
 use leosim::visibility::SimConfig;
 use leosim::TimeGrid;
-use geodata::Region;
 use orbital::constellation::{starlink_gen1_pool, Satellite};
 use orbital::time::Epoch;
 
@@ -14,10 +14,7 @@ fn sample(n: usize, seed: u64) -> (Vec<Satellite>, TimeGrid) {
     let pool = starlink_gen1_pool(epoch);
     let mut rng = run_rng(seed, 0);
     let idx = sample_indices(&mut rng, pool.len(), n);
-    (
-        idx.iter().map(|&i| pool[i].clone()).collect(),
-        TimeGrid::new(epoch, 86_400.0, 300.0),
-    )
+    (idx.iter().map(|&i| pool[i].clone()).collect(), TimeGrid::new(epoch, 86_400.0, 300.0))
 }
 
 #[test]
