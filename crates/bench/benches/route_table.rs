@@ -1,0 +1,96 @@
+//! Routing step-kernel benchmarks: `RouteTable::build` (the grid-pruned
+//! `traffic::pipeline::StepKernel`) swept over constellation size, horizon
+//! length and worker threads, plus the head-to-head against the brute-force
+//! `graph::step_routes_reference` loop it replaced.
+//!
+//! The kernel is bit-identical to the reference by construction (see
+//! DESIGN.md "Routing step kernel"), so the comparison group is a pure
+//! speed gate: the PR that introduced the kernel requires ≥ 2x at the
+//! default constellation scale (300 satellites, 21 cities, stride-3
+//! gateways).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leosim::ephemeris::EphemerisStore;
+use leosim::visibility::SimConfig;
+use leosim::TimeGrid;
+use orbital::constellation::{walker_delta, ShellSpec};
+use orbital::ground::GroundSite;
+use orbital::time::Epoch;
+use traffic::graph::step_routes_reference;
+use traffic::{gateways_every_nth, GraphConfig, RouteTable};
+
+fn epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+/// A walker shell with `sats / 10` planes, plus the paper's 21 metro
+/// terminals and every-3rd-city gateways — the same scene shape as the
+/// `traffic` CLI command and the `traffic_diurnal` experiment.
+fn scene(sats: u32, steps: usize) -> (EphemerisStore, Vec<GroundSite>, Vec<GroundSite>) {
+    let spec = ShellSpec { planes: sats / 10, sats_per_plane: 10, ..ShellSpec::starlink_like() };
+    let constellation = walker_delta(&spec, epoch());
+    let grid = TimeGrid::new(epoch(), steps as f64 * 600.0, 600.0);
+    let cfg = SimConfig::default();
+    let store = EphemerisStore::build(&constellation, &grid, &cfg);
+    let cities = geodata::paper_cities();
+    let terminals: Vec<GroundSite> = cities.iter().map(|c| c.site()).collect();
+    let gateways = gateways_every_nth(&cities, 3);
+    (store, terminals, gateways)
+}
+
+fn bench_kernel_sweep(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let graph = GraphConfig::default();
+    let mut g = c.benchmark_group("route_table_build");
+    for sats in [100u32, 300] {
+        for steps in [18usize, 72] {
+            for threads in [1usize, 4] {
+                let (store, terminals, gateways) = scene(sats, steps);
+                let id = format!("{sats}sats/{steps}steps/{threads}t");
+                g.bench_with_input(BenchmarkId::from_parameter(id), &store, |b, store| {
+                    b.iter(|| {
+                        simrt::with_thread_cap(threads, || {
+                            std::hint::black_box(RouteTable::build(
+                                store, &terminals, &gateways, &cfg, &graph,
+                            ))
+                        })
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_kernel_vs_reference(c: &mut Criterion) {
+    // The speedup gate: both sides single-threaded so the ratio isolates
+    // the grid pruning + scratch reuse, not the fan-out.
+    let cfg = SimConfig::default();
+    let graph = GraphConfig::default();
+    let (store, terminals, gateways) = scene(300, 18);
+    let mut g = c.benchmark_group("route_table_default_scale");
+    g.bench_function("kernel", |b| {
+        b.iter(|| {
+            simrt::with_thread_cap(1, || {
+                std::hint::black_box(RouteTable::build(&store, &terminals, &gateways, &cfg, &graph))
+            })
+        })
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            for k in 0..store.steps() {
+                std::hint::black_box(step_routes_reference(
+                    &store, &terminals, &gateways, &cfg, &graph, k, None,
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernel_sweep, bench_kernel_vs_reference
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Helpers shared by the subcommand modules: the common epoch, the
+//! `--threads` and `--ephemeris-cache` flags, and the sampled-pool scene
+//! builders used by every command that simulates the shared constellation.
+
+use crate::args::Args;
+use leosim::ephemeris::EphemerisStore;
+use leosim::montecarlo::{run_rng, sample_indices};
+use leosim::visibility::{SimConfig, VisibilityTable};
+use leosim::TimeGrid;
+use orbital::constellation::starlink_gen1_pool;
+use orbital::ground::GroundSite;
+use orbital::time::Epoch;
+use std::path::PathBuf;
+
+pub(crate) type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+pub(crate) fn epoch() -> Epoch {
+    Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0)
+}
+
+/// The `--threads <n>` flag: pin the shared `simrt` worker pool to `n`
+/// threads for this invocation. 0 (or absent) leaves the decision to
+/// `MPLEO_THREADS`, falling back to auto-detection.
+pub(crate) fn configure_threads(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let threads = args.get_usize("threads", 0)?;
+    if threads > 0 {
+        simrt::configure(threads);
+    }
+    Ok(())
+}
+
+/// The `--ephemeris-cache <path>` flag (also honored via the
+/// `MPLEO_EPHEMERIS_CACHE` environment variable; empty = disabled).
+pub(crate) fn ephemeris_cache(args: &Args) -> Option<PathBuf> {
+    let flag = args.get_str("ephemeris-cache", "");
+    if !flag.is_empty() {
+        return Some(PathBuf::from(flag));
+    }
+    std::env::var_os("MPLEO_EPHEMERIS_CACHE").filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// Shared: build a sampled pool visibility table for one site.
+pub(crate) fn site_table(
+    args: &Args,
+    lat: f64,
+    lon: f64,
+) -> Result<(VisibilityTable, usize), Box<dyn std::error::Error>> {
+    let sats_n = args.get_usize("sats", 500)?;
+    let days = args.get_f64("days", 1.0)?;
+    let step = args.get_f64("step", 60.0)?;
+    let mask = args.get_f64("mask", 25.0)?;
+    let pool = starlink_gen1_pool(epoch());
+    if sats_n > pool.len() {
+        return Err(format!("--sats {} exceeds the pool of {}", sats_n, pool.len()).into());
+    }
+    let mut rng = run_rng(0xC11, 0);
+    let idx = sample_indices(&mut rng, pool.len(), sats_n);
+    let site = [GroundSite::from_degrees("site", lat, lon)];
+    let grid = TimeGrid::new(epoch(), days * 86_400.0, step);
+    let cfg = SimConfig::default().with_mask_deg(mask);
+    let vt = match ephemeris_cache(args) {
+        // With a cache file: propagate (or load) the whole pool once and
+        // slice the sampled rows out of it; repeated invocations with the
+        // same grid then skip propagation entirely.
+        Some(path) => {
+            let store = EphemerisStore::load_or_build(&pool, &grid, &cfg, Some(&path));
+            VisibilityTable::from_store_subset(&store, &idx, &site, &cfg)
+        }
+        // Without one, propagating just the sample is cheaper.
+        None => {
+            let sats: Vec<_> = idx.iter().map(|&i| pool[i].clone()).collect();
+            VisibilityTable::compute(&sats, &site, &grid, &cfg)
+        }
+    };
+    Ok((vt, sats_n))
+}
+
+/// Shared: an ephemeris store over a seeded `sats_n`-satellite sample of
+/// the Starlink-like pool, going through the on-disk cache when the flag
+/// (or `MPLEO_EPHEMERIS_CACHE`) is set.
+pub(crate) fn sampled_store(
+    args: &Args,
+    seed: u64,
+    sats_n: usize,
+    grid: &TimeGrid,
+    cfg: &SimConfig,
+) -> Result<EphemerisStore, Box<dyn std::error::Error>> {
+    let pool = starlink_gen1_pool(epoch());
+    if sats_n > pool.len() {
+        return Err(format!("--sats {} exceeds the pool of {}", sats_n, pool.len()).into());
+    }
+    let mut rng = run_rng(seed, 0);
+    let idx = sample_indices(&mut rng, pool.len(), sats_n);
+    Ok(match ephemeris_cache(args) {
+        Some(path) => EphemerisStore::load_or_build(&pool, grid, cfg, Some(&path)).select(&idx),
+        None => {
+            let sats: Vec<_> = idx.iter().map(|&i| pool[i].clone()).collect();
+            EphemerisStore::build(&sats, grid, cfg)
+        }
+    })
+}

@@ -1,0 +1,89 @@
+//! Dataset and artifact emitters: `tle`, `cities`, and `manifest`.
+
+use super::common::{epoch, CmdResult};
+use crate::args::Args;
+use orbital::constellation::{walker_delta, ShellSpec};
+
+/// `mpleo tle` — emit a Walker constellation as TLE text.
+pub fn tle(args: &Args) -> CmdResult {
+    args.expect_only(&["planes", "per-plane", "inclination", "altitude", "phasing", "name"])?;
+    let spec = ShellSpec {
+        name: args.get_str("name", "MPLEO"),
+        planes: args.get_usize("planes", 4)? as u32,
+        sats_per_plane: args.get_usize("per-plane", 4)? as u32,
+        inclination_deg: args.get_f64("inclination", 53.0)?,
+        altitude_km: args.get_f64("altitude", 550.0)?,
+        phasing: args.get_usize("phasing", 1)? as u32,
+        raan_offset_deg: 0.0,
+    };
+    for sat in walker_delta(&spec, epoch()) {
+        println!("{}", sat.to_tle());
+    }
+    Ok(())
+}
+
+/// `mpleo cities` — the embedded dataset.
+pub fn cities(args: &Args) -> CmdResult {
+    args.expect_only(&[])?;
+    println!("{:<14} {:<3} {:>8} {:>9} {:>7}", "city", "cc", "lat", "lon", "pop(M)");
+    for c in geodata::paper_cities() {
+        println!(
+            "{:<14} {:<3} {:>8.4} {:>9.4} {:>7.1}",
+            c.name, c.country, c.lat_deg, c.lon_deg, c.population_m
+        );
+    }
+    Ok(())
+}
+
+/// `mpleo manifest` — emit a constellation manifest as JSON.
+pub fn manifest(args: &Args) -> CmdResult {
+    use mpleo::manifest::*;
+    use mpleo::party::PartyKind;
+    args.expect_only(&["parties", "per-party", "name"])?;
+    let parties_n = args.get_usize("parties", 3)?.max(2);
+    let per_party = args.get_usize("per-party", 4)?.max(1);
+    let name = args.get_str("name", "mpleo-demo");
+    let spec = ShellSpec {
+        planes: parties_n as u32,
+        sats_per_plane: per_party as u32,
+        ..ShellSpec::starlink_like()
+    };
+    let sats = walker_delta(&spec, epoch());
+    let parties: Vec<ManifestParty> = (0..parties_n)
+        .map(|k| ManifestParty {
+            id: format!("party-{k:02}"),
+            kind: if k % 2 == 0 { PartyKind::Country } else { PartyKind::Company },
+        })
+        .collect();
+    // Interleave ownership across planes (the coverage-optimal layout).
+    let satellites: Vec<ManifestSatellite> = sats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ManifestSatellite {
+            sat_id: s.id,
+            name: s.name.clone(),
+            owner: format!("party-{:02}", i % parties_n),
+            elements: s.elements,
+        })
+        .collect();
+    let m = ConstellationManifest {
+        name,
+        epoch_utc: (2024, 6, 1, 0, 0, 0.0),
+        parties,
+        satellites,
+        ground_stations: vec![ManifestGroundStation {
+            party: "party-00".into(),
+            name: "gs-00".into(),
+            lat_deg: 25.03,
+            lon_deg: 121.56,
+        }],
+        policies: ManifestPolicies {
+            poc_quorum: 2,
+            control_quorum: 2.max(parties_n / 2 + 1),
+            min_elevation_deg: 25.0,
+        },
+    };
+    m.validate().map_err(Box::new)?;
+    println!("{}", m.to_json());
+    Ok(())
+}

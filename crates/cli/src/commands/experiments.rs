@@ -1,0 +1,42 @@
+//! The `experiments` command: the figure/ablation suite front end.
+
+use super::common::CmdResult;
+use crate::args::Args;
+
+/// `mpleo experiments` — run the unified figure/ablation suite (the same
+/// engine as `--bin suite`) in one process over a shared context.
+pub fn experiments(args: &Args) -> CmdResult {
+    args.expect_only(&[
+        "list",
+        "only",
+        "skip",
+        "out",
+        "strict",
+        "warn-only",
+        "sequential",
+        "quiet",
+        "report",
+        "report-only",
+        "threads",
+    ])?;
+    // Re-encode as suite-style argv so both front ends share one parser.
+    let mut argv: Vec<String> = Vec::new();
+    for flag in ["list", "strict", "warn-only", "sequential", "quiet", "report", "report-only"] {
+        if args.get_bool(flag) {
+            argv.push(format!("--{flag}"));
+        }
+    }
+    for flag in ["only", "skip", "out", "threads"] {
+        let v = args.get_str(flag, "");
+        if !v.is_empty() {
+            argv.push(format!("--{flag}"));
+            argv.push(v);
+        }
+    }
+    let cmd = mpleo_bench::runner::parse_args(&argv)?;
+    let code = mpleo_bench::runner::execute(cmd, "mpleo experiments");
+    if code != 0 {
+        return Err(format!("experiments suite exited with status {code}").into());
+    }
+    Ok(())
+}

@@ -51,7 +51,7 @@ impl CoverageMap {
         cols: usize,
     ) -> CoverageMap {
         assert!(rows >= 2 && cols >= 2, "grid too small");
-        let sin_mask = config.min_elevation_deg.to_radians().sin();
+        let sin_mask = config.sin_mask();
         // Cell-center sites.
         let sites: Vec<GroundSite> = (0..rows)
             .flat_map(|r| {

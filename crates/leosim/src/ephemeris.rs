@@ -151,6 +151,20 @@ impl EphemerisStore {
         (&self.x[lo..hi], &self.y[lo..hi], &self.z[lo..hi])
     }
 
+    /// Gather the ECEF positions of every satellite at step `k` into `out`
+    /// (row order), reusing its capacity — the step-kernel shape: one
+    /// strided gather per step into a scratch buffer instead of a fresh
+    /// `Vec` per step. Values are bit-identical to [`Self::position`].
+    pub fn positions_at_step_into(&self, k: usize, out: &mut Vec<Vec3>) {
+        assert!(k < self.grid.steps, "step {k} out of range");
+        out.clear();
+        out.reserve(self.sat_count());
+        for sat in 0..self.sat_count() {
+            let i = sat * self.grid.steps + k;
+            out.push(Vec3::new(self.x[i], self.y[i], self.z[i]));
+        }
+    }
+
     /// A new store holding only the given satellites (row order follows
     /// `indices`). Pure memcpy — no re-propagation.
     pub fn select(&self, indices: &[usize]) -> EphemerisStore {

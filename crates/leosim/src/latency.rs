@@ -90,7 +90,7 @@ pub fn bentpipe_latency_from_store(
     ground_station: &GroundSite,
     config: &SimConfig,
 ) -> LatencySeries {
-    let sin_mask = config.min_elevation_deg.to_radians().sin();
+    let sin_mask = config.sin_mask();
     let steps = store.steps();
     let mut delay_ms = Vec::with_capacity(steps);
     for k in 0..steps {

@@ -52,6 +52,14 @@ impl SimConfig {
         self
     }
 
+    /// Sine of the elevation mask — the constant every visibility hot loop
+    /// compares [`orbital::ground::GroundSite::sees_ecef_sin`] against.
+    /// One canonical definition so every consumer computes the same bits.
+    #[inline]
+    pub fn sin_mask(&self) -> f64 {
+        self.min_elevation_deg.to_radians().sin()
+    }
+
     /// The resolved worker count for this config: an explicit `threads`
     /// wins; `0` defers to the process-wide [`simrt::threads`] resolution
     /// (CLI `--threads`, then a validated `MPLEO_THREADS`, then available
@@ -121,7 +129,7 @@ impl VisibilityTable {
         sites: &[GroundSite],
         config: &SimConfig,
     ) -> VisibilityTable {
-        let sin_mask = config.min_elevation_deg.to_radians().sin();
+        let sin_mask = config.sin_mask();
         let n = indices.len();
         // One task per satellite row on the shared pool; results land in
         // index order, so the table is identical at every thread count.

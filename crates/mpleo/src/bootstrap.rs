@@ -140,21 +140,17 @@ pub fn simulate_bootstrap(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fixtures;
     use leosim::visibility::SimConfig;
     use leosim::TimeGrid;
     use orbital::constellation::{walker_delta, ShellSpec};
-    use orbital::ground::GroundSite;
     use orbital::time::Epoch;
 
     fn pool() -> (VisibilityTable, Vec<f64>) {
         let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
         let spec = ShellSpec { planes: 8, sats_per_plane: 6, ..ShellSpec::starlink_like() };
         let sats = walker_delta(&spec, epoch);
-        let sites = vec![
-            GroundSite::from_degrees("Tokyo", 35.69, 139.69),
-            GroundSite::from_degrees("SaoPaulo", -23.55, -46.63),
-            GroundSite::from_degrees("Lagos", 6.52, 3.38),
-        ];
+        let sites = vec![fixtures::tokyo(), fixtures::sao_paulo(), fixtures::lagos()];
         let weights = vec![0.5, 0.3, 0.2];
         let grid = TimeGrid::new(epoch, 86_400.0, 120.0);
         (VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default()), weights)

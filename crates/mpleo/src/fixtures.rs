@@ -1,0 +1,32 @@
+//! Shared ground-site fixtures for unit tests.
+//!
+//! Several modules' tests stand a handful of the paper's 21 metro sites
+//! in for the full city set to keep unit tests fast. The coordinates
+//! live here once so every module draws the same sites; the full set is
+//! exercised by the figure binaries and integration tests.
+
+use orbital::ground::GroundSite;
+
+pub(crate) fn tokyo() -> GroundSite {
+    GroundSite::from_degrees("Tokyo", 35.69, 139.69)
+}
+
+pub(crate) fn taipei() -> GroundSite {
+    GroundSite::from_degrees("Taipei", 25.03, 121.56)
+}
+
+pub(crate) fn sao_paulo() -> GroundSite {
+    GroundSite::from_degrees("SaoPaulo", -23.55, -46.63)
+}
+
+pub(crate) fn lagos() -> GroundSite {
+    GroundSite::from_degrees("Lagos", 6.52, 3.38)
+}
+
+pub(crate) fn delhi() -> GroundSite {
+    GroundSite::from_degrees("Delhi", 28.61, 77.21)
+}
+
+pub(crate) fn new_york() -> GroundSite {
+    GroundSite::from_degrees("NewYork", 40.71, -74.01)
+}

@@ -94,17 +94,17 @@ pub fn simulate_handover(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fixtures;
     use leosim::visibility::SimConfig;
     use leosim::TimeGrid;
     use orbital::constellation::{walker_delta, ShellSpec};
-    use orbital::ground::GroundSite;
     use orbital::time::Epoch;
 
     fn table() -> VisibilityTable {
         let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
         let spec = ShellSpec { planes: 12, sats_per_plane: 8, ..ShellSpec::starlink_like() };
         let sats = walker_delta(&spec, epoch);
-        let sites = [GroundSite::from_degrees("Taipei", 25.03, 121.56)];
+        let sites = [fixtures::taipei()];
         let grid = TimeGrid::new(epoch, 86_400.0, 60.0);
         VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default())
     }

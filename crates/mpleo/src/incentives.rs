@@ -188,10 +188,10 @@ pub fn poc_rewards(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fixtures;
     use leosim::visibility::SimConfig;
     use leosim::TimeGrid;
     use orbital::constellation::single_plane;
-    use orbital::ground::GroundSite;
     use orbital::time::Epoch;
 
     fn epoch() -> Epoch {
@@ -200,10 +200,7 @@ mod tests {
 
     fn table() -> VisibilityTable {
         let sats = single_plane(6, 550.0, 53.0, epoch());
-        let sites = vec![
-            GroundSite::from_degrees("Tokyo", 35.69, 139.69),
-            GroundSite::from_degrees("Taipei", 25.03, 121.56),
-        ];
+        let sites = vec![fixtures::tokyo(), fixtures::taipei()];
         let grid = TimeGrid::new(epoch(), 86_400.0, 120.0);
         VisibilityTable::compute(&sats, &sites, &grid, &SimConfig::default())
     }

@@ -50,6 +50,8 @@ pub mod control;
 pub mod downlink;
 pub mod economics;
 pub mod failures;
+#[cfg(test)]
+pub(crate) mod fixtures;
 pub mod handover;
 pub mod incentives;
 pub mod manifest;

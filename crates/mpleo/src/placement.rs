@@ -272,6 +272,7 @@ pub fn exhaustive_select(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fixtures;
     use leosim::visibility::SimConfig;
 
     fn epoch() -> Epoch {
@@ -283,11 +284,11 @@ mod tests {
     /// figure binaries and integration tests).
     fn sites_and_weights() -> (Vec<GroundSite>, Vec<f64>) {
         let sites = vec![
-            GroundSite::from_degrees("Tokyo", 35.69, 139.69),
-            GroundSite::from_degrees("Delhi", 28.61, 77.21),
-            GroundSite::from_degrees("SaoPaulo", -23.55, -46.63),
-            GroundSite::from_degrees("NewYork", 40.71, -74.01),
-            GroundSite::from_degrees("Lagos", 6.52, 3.38),
+            fixtures::tokyo(),
+            fixtures::delhi(),
+            fixtures::sao_paulo(),
+            fixtures::new_york(),
+            fixtures::lagos(),
         ];
         let weights = vec![0.3, 0.3, 0.2, 0.1, 0.1];
         (sites, weights)

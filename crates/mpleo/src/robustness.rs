@@ -103,10 +103,10 @@ pub fn skewed_withdrawal_experiment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fixtures;
     use leosim::visibility::SimConfig;
     use leosim::TimeGrid;
     use orbital::constellation::{walker_delta, ShellSpec};
-    use orbital::ground::GroundSite;
     use orbital::time::Epoch;
 
     fn epoch() -> Epoch {
@@ -116,11 +116,7 @@ mod tests {
     fn pool_table(planes: u32, per_plane: u32, mask_deg: f64) -> (VisibilityTable, Vec<f64>) {
         let spec = ShellSpec { planes, sats_per_plane: per_plane, ..ShellSpec::starlink_like() };
         let sats = walker_delta(&spec, epoch());
-        let sites = vec![
-            GroundSite::from_degrees("Tokyo", 35.69, 139.69),
-            GroundSite::from_degrees("SaoPaulo", -23.55, -46.63),
-            GroundSite::from_degrees("NewYork", 40.71, -74.01),
-        ];
+        let sites = vec![fixtures::tokyo(), fixtures::sao_paulo(), fixtures::new_york()];
         let weights = vec![0.5, 0.25, 0.25];
         let grid = TimeGrid::new(epoch(), 86_400.0, 120.0);
         let cfg = SimConfig::default().with_mask_deg(mask_deg);

@@ -9,15 +9,19 @@
 //!
 //! ## Execution model
 //!
-//! A parallel *scope* ([`par_map_indexed`], [`par_for_each_mut`],
-//! [`par_chunks`]) is a caller-participation construct: the calling thread
-//! enqueues up to `cap - 1` *helper* jobs on the pool and then joins the
-//! same index-claiming loop itself. Indices are claimed in blocks from a
-//! shared atomic counter, so a scope always makes progress even when every
-//! worker is busy elsewhere — the caller alone can finish the whole scope.
-//! At scope exit, helpers that never started are cancelled (a queued job is
-//! a single compare-and-swap away from being a no-op) and running helpers
-//! are waited for; no work outlives the scope, so task closures may borrow
+//! A parallel *scope* ([`par_map_indexed`], [`par_map_indexed_with`],
+//! [`par_for_each_mut`], [`par_chunks`]) is a caller-participation
+//! construct: the calling thread enqueues up to `cap - 1` *helper* jobs on
+//! the pool and then joins the same index-claiming loop itself. Indices are
+//! claimed in blocks from a shared atomic counter, so a scope always makes
+//! progress even when every worker is busy elsewhere — the caller alone can
+//! finish the whole scope. Each claimant builds its task closure once from
+//! a shared factory, which is how [`par_map_indexed_with`] hands every
+//! participant a persistent thread-local scratch (built once, reused for
+//! every index that participant claims, never sent across threads). At
+//! scope exit, helpers that never started are cancelled (a queued job is a
+//! single compare-and-swap away from being a no-op) and running helpers are
+//! waited for; no work outlives the scope, so task closures may borrow
 //! from the caller's stack.
 //!
 //! ## Determinism contract
@@ -63,7 +67,7 @@ mod metrics;
 mod pool;
 
 pub use metrics::{global_metrics, take_thread_metrics, thread_metrics, ScopeMetrics};
-pub use pool::{par_chunks, par_for_each_mut, par_map_indexed};
+pub use pool::{par_chunks, par_for_each_mut, par_map_indexed, par_map_indexed_with};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -35,9 +35,61 @@ impl StepAllocation {
     }
 }
 
+/// Reusable buffers for [`allocate_step_with`]: the engine's allocation
+/// fan-out keeps one per `simrt` participant so the progressive-filling
+/// rounds run with no per-step heap allocation in steady state (only the
+/// returned [`StepAllocation`] is freshly allocated).
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    caps: Vec<f64>,
+    active: Vec<bool>,
+    /// Engaged access satellites, sorted ascending (the dense stand-in for
+    /// the old `BTreeMap` keyed by satellite: ascending iteration keeps
+    /// every float reduction in the exact same order).
+    engaged: Vec<usize>,
+    sat_left: Vec<f64>,
+    sat_members: Vec<Vec<usize>>,
+    gw_left: Vec<f64>,
+    gw_members: Vec<Vec<usize>>,
+    live: Vec<usize>,
+}
+
+/// Clear the first `len` inner vectors, growing the pool as needed; inner
+/// allocations persist across steps.
+fn reset_member_pool(pool: &mut Vec<Vec<usize>>, len: usize) {
+    if pool.len() < len {
+        pool.resize_with(len, Vec::new);
+    }
+    for members in &mut pool[..len] {
+        members.clear();
+    }
+}
+
 /// Progressive-filling allocation of `offered` (Mbps per city) over the
 /// step's routes, subject to per-satellite and per-gateway capacity.
 pub fn allocate_step(
+    offered: &[f64],
+    routes: &StepRoutes,
+    sat_capacity_mbps: f64,
+    gateway_capacity_mbps: f64,
+    n_gateways: usize,
+) -> StepAllocation {
+    allocate_step_with(
+        &mut AllocScratch::default(),
+        offered,
+        routes,
+        sat_capacity_mbps,
+        gateway_capacity_mbps,
+        n_gateways,
+    )
+}
+
+/// [`allocate_step`] with caller-provided scratch. The shared-resource
+/// state lives in dense arrays indexed by the sorted `engaged` satellite
+/// list; every reduction iterates in the same ascending order as the old
+/// `BTreeMap`-based implementation, so results are bit-identical.
+pub fn allocate_step_with(
+    scratch: &mut AllocScratch,
     offered: &[f64],
     routes: &StepRoutes,
     sat_capacity_mbps: f64,
@@ -49,45 +101,64 @@ pub fn allocate_step(
 
     let n = offered.len();
     let mut rate = vec![0.0f64; n];
+    let AllocScratch { caps, active, engaged, sat_left, sat_members, gw_left, gw_members, live } =
+        scratch;
     // Individual cap: offered load and the city's own access-link bound.
-    let caps: Vec<f64> = (0..n)
-        .map(|c| match &routes.routes[c] {
-            Some(r) => offered[c].min(r.access_mbps).max(0.0),
-            None => 0.0,
-        })
-        .collect();
-    let mut active: Vec<bool> = (0..n).map(|c| caps[c] > EPS).collect();
+    caps.clear();
+    caps.extend((0..n).map(|c| match &routes.routes[c] {
+        Some(r) => offered[c].min(r.access_mbps).max(0.0),
+        None => 0.0,
+    }));
+    active.clear();
+    active.extend((0..n).map(|c| caps[c] > EPS));
 
-    // Shared resources: remaining capacity + member cities (sorted orders
-    // keep every float reduction deterministic).
-    let mut sat_left: BTreeMap<usize, f64> = BTreeMap::new();
-    let mut sat_members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    let mut gw_left = vec![gateway_capacity_mbps; n_gateways];
-    let mut gw_members: Vec<Vec<usize>> = vec![Vec::new(); n_gateways];
+    // Shared resources: remaining capacity + member cities. `engaged` is
+    // sorted so slot order is satellite order; members are collected in a
+    // second pass so each list is in ascending city order — both match the
+    // old sorted-map iteration exactly.
+    engaged.clear();
+    engaged.extend(
+        active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(c, _)| routes.routes[c].as_ref().expect("active implies routed").sat),
+    );
+    engaged.sort_unstable();
+    engaged.dedup();
+    let slot_of = |engaged: &[usize], sat: usize| {
+        engaged.binary_search(&sat).expect("engaged access satellite")
+    };
+    sat_left.clear();
+    sat_left.resize(engaged.len(), sat_capacity_mbps);
+    reset_member_pool(sat_members, engaged.len());
+    gw_left.clear();
+    gw_left.resize(n_gateways, gateway_capacity_mbps);
+    reset_member_pool(gw_members, n_gateways);
     for (c, &is_active) in active.iter().enumerate() {
         if !is_active {
             continue;
         }
         let r = routes.routes[c].as_ref().expect("active implies routed");
-        sat_left.entry(r.sat).or_insert(sat_capacity_mbps);
-        sat_members.entry(r.sat).or_default().push(c);
+        sat_members[slot_of(engaged, r.sat)].push(c);
         gw_members[r.gateway].push(c);
     }
 
     // Progressive filling: at most one flow or one resource freezes per
     // round, so the loop is bounded by cities + resources.
-    for _round in 0..(n + sat_left.len() + n_gateways + 1) {
-        let live: Vec<usize> = (0..n).filter(|&c| active[c]).collect();
+    for _round in 0..(n + engaged.len() + n_gateways + 1) {
+        live.clear();
+        live.extend((0..n).filter(|&c| active[c]));
         if live.is_empty() {
             break;
         }
         // Largest uniform increment every live flow can take.
         let mut delta = f64::INFINITY;
-        for &c in &live {
+        for &c in live.iter() {
             delta = delta.min(caps[c] - rate[c]);
         }
-        for (&s, &left) in &sat_left {
-            let users = sat_members[&s].iter().filter(|&&c| active[c]).count();
+        for (slot, &left) in sat_left.iter().enumerate() {
+            let users = sat_members[slot].iter().filter(|&&c| active[c]).count();
             if users > 0 {
                 delta = delta.min(left / users as f64);
             }
@@ -102,22 +173,22 @@ pub fn allocate_step(
             break;
         }
         // Apply the increment and charge the shared resources.
-        for &c in &live {
+        for &c in live.iter() {
             rate[c] += delta;
             let r = routes.routes[c].as_ref().expect("live implies routed");
-            *sat_left.get_mut(&r.sat).expect("registered") -= delta;
+            sat_left[slot_of(engaged, r.sat)] -= delta;
             gw_left[r.gateway] -= delta;
         }
         // Freeze flows at their individual cap, then flows on a saturated
         // resource.
-        for &c in &live {
+        for &c in live.iter() {
             if caps[c] - rate[c] <= EPS {
                 active[c] = false;
             }
         }
-        for (&s, &left) in &sat_left {
+        for (slot, &left) in sat_left.iter().enumerate() {
             if left <= EPS {
-                for &c in &sat_members[&s] {
+                for &c in &sat_members[slot] {
                     active[c] = false;
                 }
             }
@@ -153,6 +224,30 @@ mod tests {
 
     fn route(sat: usize, gateway: usize, access_mbps: f64) -> Option<Route> {
         Some(Route { sat, gateway, hops: 0, path_km: 1000.0, latency_ms: 5.0, access_mbps })
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh() {
+        // One scratch across dissimilar steps (different city counts,
+        // engaged satellites, gateways) must not leak state between calls.
+        let steps = [
+            StepRoutes { routes: vec![route(5, 2, 1e9), route(1, 0, 40.0), None] },
+            StepRoutes { routes: vec![route(0, 0, 1e9)] },
+            StepRoutes {
+                routes: vec![route(3, 1, 120.0), route(3, 1, 1e9), route(4, 2, 1e9), None],
+            },
+        ];
+        let offers: [&[f64]; 3] = [&[100.0, 90.0, 10.0], &[500.0], &[80.0, 80.0, 80.0, 5.0]];
+        let mut scratch = AllocScratch::default();
+        for (routes, offered) in steps.iter().zip(offers) {
+            let reused = allocate_step_with(&mut scratch, offered, routes, 150.0, 200.0, 3);
+            let fresh = allocate_step(offered, routes, 150.0, 200.0, 3);
+            for (a, b) in reused.served_mbps.iter().zip(&fresh.served_mbps) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(reused.sat_carried, fresh.sat_carried);
+            assert_eq!(reused.gateway_carried, fresh.gateway_carried);
+        }
     }
 
     #[test]

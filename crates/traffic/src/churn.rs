@@ -25,7 +25,8 @@
 
 use crate::demand::DemandMatrix;
 use crate::engine::{run_traffic_with_routes, TrafficConfig, TrafficReport};
-use crate::graph::{step_routes_masked, RouteTable, StepMask, StepRoutes};
+use crate::graph::{RouteTable, StepMask, StepRoutes};
+use crate::pipeline::{StepKernel, StepScratch};
 use crate::market::{clear_market, epoch_orders, party_keys, summarize_epochs};
 use dcp::crypto::KeyDirectory;
 use dcp::messages::{MarketOrder, WithdrawalNotice};
@@ -504,12 +505,18 @@ pub fn run_campaign_with_routes(
         }
     }
 
-    // Parallel: recompute only the disturbed steps' routes.
+    // Parallel: recompute only the disturbed steps' routes, through the
+    // same step kernel as the baseline build — each participant reuses one
+    // scratch across the disturbed steps it claims.
     let sites: Vec<GroundSite> = cities.iter().map(|c| c.site()).collect();
-    let churn_steps: Vec<StepRoutes> = simrt::par_map_indexed(steps, 0, |k| match &masks[k] {
-        None => baseline_routes.steps[k].clone(),
-        Some(m) => step_routes_masked(store, &sites, gateways, sim, &cfg.traffic.graph, k, m),
-    });
+    let kernel = StepKernel::new(store, &sites, gateways, sim, &cfg.traffic.graph);
+    let churn_steps: Vec<StepRoutes> =
+        simrt::par_map_indexed_with(steps, 0, StepScratch::default, |scratch, k| {
+            match &masks[k] {
+                None => baseline_routes.steps[k].clone(),
+                Some(m) => kernel.routes(scratch, k, Some(m)),
+            }
+        });
     let churn_routes = RouteTable {
         steps: churn_steps,
         terminals: baseline_routes.terminals.clone(),

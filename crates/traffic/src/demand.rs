@@ -127,7 +127,18 @@ impl DemandMatrix {
 
     /// Offered load of every city at step `k`, Mbps.
     pub fn step_offered(&self, k: usize) -> Vec<f64> {
-        (0..self.cities.len()).map(|c| self.offered(c, k)).collect()
+        let mut out = Vec::new();
+        self.step_offered_into(k, &mut out);
+        out
+    }
+
+    /// [`Self::step_offered`] into a reusable buffer — the step-kernel
+    /// shape: the engine's allocation fan-out gathers each step's column
+    /// into per-worker scratch instead of allocating a fresh `Vec`.
+    pub fn step_offered_into(&self, k: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.cities.len());
+        out.extend((0..self.cities.len()).map(|c| self.offered(c, k)));
     }
 
     /// Total offered load at step `k`, Mbps.

@@ -13,7 +13,14 @@
 //! access satellite wins, ties broken by the lowest satellite row. Steps
 //! are independent `simrt` jobs collected in step order, so the table is
 //! byte-identical at any thread count.
+//!
+//! The production per-step computation lives in [`crate::pipeline`]: a
+//! grid-pruned, scratch-reusing [`crate::pipeline::StepKernel`] shared by
+//! [`RouteTable::build`], the traffic engine, and the churn campaign
+//! engine. This module keeps the route/mask types and the brute-force
+//! [`step_routes_reference`] the kernel is property-tested against.
 
+use crate::pipeline::{StepKernel, StepScratch};
 use leosim::ephemeris::EphemerisStore;
 use leosim::latency::C_KM_S;
 use leosim::linkbudget::{end_to_end_capacity_bps, PayloadArchitecture, RfLeg};
@@ -88,8 +95,9 @@ impl RouteTable {
         sim: &SimConfig,
         graph: &GraphConfig,
     ) -> RouteTable {
-        let steps = simrt::par_map_indexed(store.steps(), 0, |k| {
-            step_routes(store, terminals, gateways, sim, graph, k)
+        let kernel = StepKernel::new(store, terminals, gateways, sim, graph);
+        let steps = simrt::par_map_indexed_with(store.steps(), 0, StepScratch::default, |scratch, k| {
+            kernel.routes(scratch, k, None)
         });
         RouteTable {
             steps,
@@ -146,37 +154,27 @@ impl StepMask {
     }
 }
 
-/// Per-satellite downlink chain state built by the BFS below.
-struct Downlink {
+/// Per-satellite downlink chain state built by the routing BFS (shared
+/// with [`crate::pipeline`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Downlink {
     /// Gateway the chain lands on.
-    gateway: usize,
+    pub(crate) gateway: usize,
     /// Distance from this satellite to the gateway along the chain, km.
-    dist_km: f64,
+    pub(crate) dist_km: f64,
     /// ISL hops used by the chain.
-    hops: usize,
+    pub(crate) hops: usize,
     /// Slant range of the chain's final downlink leg, km.
-    down_range_km: f64,
+    pub(crate) down_range_km: f64,
 }
 
-/// Compute every city's best route at step `k`. Pure function of the
-/// store contents — sequential inside the step so the result does not
-/// depend on scheduling.
-fn step_routes(
-    store: &EphemerisStore,
-    terminals: &[GroundSite],
-    gateways: &[GroundSite],
-    sim: &SimConfig,
-    graph: &GraphConfig,
-    k: usize,
-) -> StepRoutes {
-    step_routes_inner(store, terminals, gateways, sim, graph, k, None)
-}
-
-/// [`RouteTable::build`]'s per-step kernel under an availability mask:
-/// down satellites vanish from both the access and relay roles, down
-/// gateways from the downlink candidates, and each terminal's access
-/// capacity is scaled by its degradation factor. Pure and sequential like
-/// the unmasked kernel, so churn campaigns stay thread-count invariant.
+/// Routing at step `k` under an availability mask: down satellites vanish
+/// from both the access and relay roles, down gateways from the downlink
+/// candidates, and each terminal's access capacity is scaled by its
+/// degradation factor. Pure per step, so churn campaigns stay
+/// thread-count invariant. Thin wrapper over [`crate::pipeline::StepKernel`]
+/// for one-off calls; loops over many steps should hold a kernel and a
+/// scratch themselves.
 pub fn step_routes_masked(
     store: &EphemerisStore,
     terminals: &[GroundSite],
@@ -189,10 +187,17 @@ pub fn step_routes_masked(
     assert_eq!(mask.sat_ok.len(), store.sat_count(), "one flag per satellite");
     assert_eq!(mask.gateway_ok.len(), gateways.len(), "one flag per gateway");
     assert_eq!(mask.terminal_factor.len(), terminals.len(), "one factor per terminal");
-    step_routes_inner(store, terminals, gateways, sim, graph, k, Some(mask))
+    let kernel = StepKernel::new(store, terminals, gateways, sim, graph);
+    kernel.routes(&mut StepScratch::default(), k, Some(mask))
 }
 
-fn step_routes_inner(
+/// The brute-force reference kernel: all-satellite scans, first-wins
+/// strict-less-than selection in ascending index order. The grid-pruned
+/// [`crate::pipeline::StepKernel`] is required to reproduce this function
+/// bit for bit (property-tested in `pipeline::proptests`); keep the two in
+/// lockstep when touching route semantics. Benchmarks also use it as the
+/// speedup baseline.
+pub fn step_routes_reference(
     store: &EphemerisStore,
     terminals: &[GroundSite],
     gateways: &[GroundSite],

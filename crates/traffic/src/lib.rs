@@ -10,7 +10,8 @@
 //! 2. [`graph`] — a per-step routing snapshot over a prebuilt
 //!    [`leosim::ephemeris::EphemerisStore`]: terminal → satellite uplink,
 //!    optional ISL hops, satellite → ground-station downlink, with link
-//!    capacities from [`leosim::linkbudget`];
+//!    capacities from [`leosim::linkbudget`]; the production per-step
+//!    computation is the grid-pruned [`pipeline`] step kernel;
 //! 3. [`allocate`] — a max-min-fair (progressive-filling) flow allocator
 //!    producing per-city served throughput under shared satellite and
 //!    gateway capacity;
@@ -36,8 +37,9 @@ pub mod demand;
 pub mod engine;
 pub mod graph;
 pub mod market;
+pub mod pipeline;
 
-pub use allocate::StepAllocation;
+pub use allocate::{AllocScratch, StepAllocation};
 pub use churn::{
     run_campaign, run_campaign_with_routes, sample_failures, CampaignConfig, CampaignReport,
     ChurnEvent, ChurnSchedule, ChurnState,
@@ -47,6 +49,7 @@ pub use engine::{
     run_traffic, run_traffic_with_routes, PartyTraffic, TrafficConfig, TrafficReport,
 };
 pub use graph::{gateways_every_nth, GraphConfig, Route, RouteTable, StepMask};
+pub use pipeline::{StepKernel, StepScratch};
 pub use market::{
     clear_market, epoch_orders, party_keys, summarize_epochs, EpochSummary, PartyEpoch,
 };
