@@ -123,6 +123,16 @@ impl Args {
         }
     }
 
+    /// A u64 flag (e.g. a seed), or default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError::BadValue(key.to_string(), v.clone(), "integer"))
+            }
+        }
+    }
+
     /// A boolean flag (present/true/false), default false.
     #[allow(dead_code)]
     pub fn get_bool(&self, key: &str) -> bool {

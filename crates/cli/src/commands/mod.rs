@@ -8,6 +8,7 @@ mod churn;
 mod coverage;
 mod data;
 mod experiments;
+mod fuzz;
 mod node;
 mod plan;
 mod traffic;
@@ -16,6 +17,7 @@ pub use self::churn::churn;
 pub use self::coverage::{coverage, map, sla};
 pub use self::data::{cities, manifest, tle};
 pub use self::experiments::experiments;
+pub use self::fuzz::fuzz;
 pub use self::node::{audit, node};
 pub use self::plan::{plan, screen};
 pub use self::traffic::traffic;
@@ -145,6 +147,20 @@ mod tests {
         assert!(churn(&argv("churn --sats 60 --hours 3 --step 600")).is_ok());
         assert!(churn(&argv("churn --sats 60 --hours 3 --step 600 --withdraw none")).is_ok());
         assert!(churn(&argv("churn --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn fuzz_runs_a_tiny_seed_range() {
+        assert!(fuzz(&argv("fuzz --seeds 2 --start-seed 100")).is_ok());
+        assert!(fuzz(&argv("fuzz --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_flags() {
+        assert!(fuzz(&argv("fuzz --seeds 0")).is_err());
+        assert!(fuzz(&argv("fuzz --budget -1")).is_err());
+        assert!(fuzz(&argv("fuzz --seeds x")).is_err());
+        assert!(fuzz(&argv("fuzz --corpus /nonexistent/corpus --seeds 0")).is_err());
     }
 
     #[test]

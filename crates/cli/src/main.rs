@@ -11,6 +11,7 @@
 //! * `traffic`  — route diurnal metro demand and summarize the market
 //! * `churn`    — run a timed failure/withdrawal campaign over the traffic stack
 //! * `node`     — run a live coordination-protocol node over TCP
+//! * `fuzz`     — seeded whole-stack scenario fuzzing with invariant oracles
 //! * `experiments` — run the paper's figure/ablation suite in one process
 //!
 //! Run `mpleo help` (or any subcommand with `--help`-style curiosity) for
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
         Some("audit") => commands::audit(&parsed),
         Some("manifest") => commands::manifest(&parsed),
         Some("node") => commands::node(&parsed),
+        Some("fuzz") => commands::fuzz(&parsed),
         Some("experiments") => commands::experiments(&parsed),
         Some(other) => {
             eprintln!("error: unknown command '{other}'");
@@ -123,6 +125,12 @@ COMMANDS:
                 --anti-entropy-ms MS (1000) --status-secs S (5)
                 --retry-initial-ms MS (100) --retry-max-ms MS (5000)
                 --retry-attempts N (0 = unlimited)
+    fuzz      seeded whole-stack scenario fuzzing with invariant oracles
+                --seeds N (25) --budget SECS (0 = unbounded)
+                --start-seed S (the CI smoke base seed)
+                --corpus DIR (re-check pinned tests/corpus entries first)
+                --out DIR (write failing repros as one-line JSON files)
+                --threads N (0 = auto)
     experiments  run the paper's figure/ablation suite in one process
                 --list (print the registry) --only id,id --skip id,id
                 --out DIR (results/, JSON per experiment) --strict

@@ -5,6 +5,28 @@
 //! bands around ±inclination and leaves the poles dark, which is the
 //! geometric root of every experiment in the paper. Rendered as ASCII for
 //! terminals and dumped as numbers for plotting.
+//!
+//! ```
+//! use leosim::coveragemap::CoverageMap;
+//! use leosim::visibility::SimConfig;
+//! use leosim::TimeGrid;
+//! use orbital::constellation::{walker_delta, ShellSpec};
+//! use orbital::time::Epoch;
+//!
+//! let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+//! let shell = ShellSpec { planes: 3, sats_per_plane: 4, ..ShellSpec::starlink_like() };
+//! let sats = walker_delta(&shell, epoch);
+//! let grid = TimeGrid::new(epoch, 2.0 * 3600.0, 600.0);
+//!
+//! let map = CoverageMap::compute(&sats, &grid, &SimConfig::default(), 8, 16);
+//! assert_eq!((map.rows, map.cols), (8, 16));
+//! assert!((0.0..=1.0).contains(&map.global_mean()));
+//! // An inclined shell cannot see the poles: the northernmost band is
+//! // never better covered than the map as a whole.
+//! assert!(map.row_mean(0) <= map.global_mean() + 1e-12);
+//! // The ASCII rendering has one line per latitude row (plus its legend).
+//! assert!(map.ascii().lines().count() >= map.rows);
+//! ```
 
 use crate::ephemeris::EphemerisStore;
 use crate::timegrid::TimeGrid;

@@ -1,0 +1,43 @@
+//! # scenario — the seeded whole-stack fuzzer
+//!
+//! The paper's decentralized-constellation argument rests on the system
+//! behaving correctly under *arbitrary* combinations of ownership, demand,
+//! churn, and market settlement — a state space hand-written tests cannot
+//! enumerate. This crate generates that space instead: a [`gen::Scenario`]
+//! is a seeded, self-describing sample of the whole configuration surface
+//! (constellation shell, time grid, city demand mix, multi-party ownership
+//! split, churn schedule, fidelity and capacity knobs), and
+//! [`oracle::check_scenario`] drives it through the entire stack —
+//! `EphemerisStore` → `StepKernel` routing → max-min allocation → churn
+//! campaign → market settlement — checking the cross-layer invariants the
+//! layers promise each other (feasibility, flow conservation, max-min
+//! fairness, kernel ≡ brute-force reference, baseline-reuse identity,
+//! monotone recovery, zero-sum settlement, signature validity, and
+//! bit-identity across thread counts).
+//!
+//! Failures shrink ([`shrink::shrink`]) to a minimal scenario and ship as
+//! a one-line JSON [`shrink::Repro`] that replays without the generator.
+//! The [`fuzz::run_fuzz`] driver backs the `mpleo fuzz` CLI subcommand and
+//! the CI smoke tier, which re-checks the pinned [`corpus`] plus a window
+//! of fresh seeds starting at the date-independent
+//! [`seeds::FUZZ_SMOKE_START`].
+//!
+//! Determinism contract: every random draw flows through
+//! `leosim::montecarlo::run_rng(seed, stream)` with a per-dimension stream
+//! constant from [`seeds`], and every downstream layer is already
+//! byte-identical at any thread count (enforced here by the
+//! thread-identity oracle) — so a seed, or a shrunk scenario struct, is a
+//! complete reproduction recipe.
+
+pub mod corpus;
+pub mod fuzz;
+pub mod gen;
+pub mod oracle;
+pub mod seeds;
+pub mod shrink;
+
+pub use corpus::{load_corpus, CorpusEntry};
+pub use fuzz::{run_fuzz, FuzzReport};
+pub use gen::{Built, Ownership, Scenario};
+pub use oracle::{check_scenario, check_step_allocation, ScenarioOutcome, Violation};
+pub use shrink::{shrink, Repro};

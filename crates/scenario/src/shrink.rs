@@ -1,0 +1,261 @@
+//! The minimizing shrinker: reduce a failing scenario to a small,
+//! replayable repro.
+//!
+//! Scenarios are plain serializable structs ([`crate::gen`]), so shrinking
+//! is direct mutation, not seed search: each pass proposes a structurally
+//! smaller candidate (fewer churn events, fewer cities, a smaller shell, a
+//! shorter horizon, simpler knobs), re-runs the caller's oracle closure,
+//! and keeps the candidate only if the *same* oracle still fails — a
+//! different failure means the mutation changed the bug, not minimized it.
+//! Candidates are [`Scenario::sanitize`]d first, so out-of-range schedule
+//! events produced by a mutation are dropped rather than rejected.
+//!
+//! The result ships as a [`Repro`]: the shrunk scenario plus the violated
+//! oracle, serialized as one line of compact JSON. Replaying is
+//! [`Repro::from_json`] + [`crate::oracle::check_scenario`] — no
+//! generator, no date, no environment involved.
+
+use crate::gen::Scenario;
+use crate::oracle::Violation;
+use serde::{Deserialize, Serialize};
+use traffic::ChurnSchedule;
+
+/// A replayable failure: the shrunk scenario and what it violates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Repro {
+    /// The generating seed (provenance; `scenario` is authoritative).
+    pub seed: u64,
+    /// The violated oracle's stable name.
+    pub oracle: String,
+    /// The violation detail at the shrunk scenario.
+    pub detail: String,
+    /// The full shrunk scenario — replay with
+    /// [`crate::oracle::check_scenario`].
+    pub scenario: Scenario,
+}
+
+impl Repro {
+    /// Package a failing scenario with its violation.
+    pub fn new(scenario: &Scenario, violation: &Violation) -> Repro {
+        Repro {
+            seed: scenario.seed,
+            oracle: violation.oracle.clone(),
+            detail: violation.detail.clone(),
+            scenario: scenario.clone(),
+        }
+    }
+
+    /// One line of compact JSON (the repro format checked into
+    /// `tests/corpus/` and uploaded by the CI fuzz job).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("repro serializes")
+    }
+
+    /// Parse a repro back (accepts the [`Repro::to_json`] format).
+    pub fn from_json(json: &str) -> Result<Repro, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Shrink `scenario` while `fails` keeps returning a violation of
+/// `target_oracle`. `budget` bounds the number of oracle evaluations (each
+/// evaluation runs the whole stack, so this is the knob that caps shrink
+/// time). Returns the smallest accepted scenario; the input itself if
+/// nothing smaller fails the same way.
+pub fn shrink(
+    scenario: &Scenario,
+    target_oracle: &str,
+    budget: usize,
+    fails: impl Fn(&Scenario) -> Option<Violation>,
+) -> Scenario {
+    let mut best = scenario.clone();
+    let mut evals = 0usize;
+    let accept = |candidate: &mut Scenario, best: &mut Scenario, evals: &mut usize| -> bool {
+        if *evals >= budget {
+            return false;
+        }
+        candidate.sanitize();
+        if candidate == best {
+            return false;
+        }
+        *evals += 1;
+        match fails(candidate) {
+            Some(v) if v.oracle == target_oracle => {
+                *best = candidate.clone();
+                true
+            }
+            _ => false,
+        }
+    };
+
+    // Iterate the passes to a fixpoint: later passes (shorter horizon)
+    // often re-enable earlier ones (fewer events survive sanitize).
+    loop {
+        let before = best.clone();
+
+        // Pass 1: delta-debug the churn schedule — drop halves, then
+        // single events.
+        let mut chunk = (best.schedule.events.len() / 2).max(1);
+        while !best.schedule.events.is_empty() && evals < budget {
+            let mut removed_any = false;
+            let mut start = 0;
+            while start < best.schedule.events.len() && evals < budget {
+                let mut candidate = best.clone();
+                let end = (start + chunk).min(candidate.schedule.events.len());
+                candidate.schedule.events.drain(start..end);
+                if accept(&mut candidate, &mut best, &mut evals) {
+                    removed_any = true; // indices shifted; retry same start
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 && !removed_any {
+                break;
+            }
+            if !removed_any {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+        // An event-free scenario may still fail; try the empty schedule
+        // outright in case the loop above stalled on interacting events.
+        if !best.schedule.events.is_empty() {
+            let mut candidate = best.clone();
+            candidate.schedule = ChurnSchedule::new();
+            accept(&mut candidate, &mut best, &mut evals);
+        }
+
+        // Pass 2: fewer cities (halve the list, then drop singles).
+        while best.cities.len() > 1 && evals < budget {
+            let mut candidate = best.clone();
+            let keep = candidate.cities.len() / 2;
+            candidate.cities.truncate(keep.max(1));
+            if !accept(&mut candidate, &mut best, &mut evals) {
+                break;
+            }
+        }
+        while best.cities.len() > 1 && evals < budget {
+            let mut candidate = best.clone();
+            candidate.cities.pop();
+            if !accept(&mut candidate, &mut best, &mut evals) {
+                break;
+            }
+        }
+
+        // Pass 3: a smaller shell (halve planes and sats per plane).
+        for field in ["planes", "sats_per_plane"] {
+            loop {
+                let mut candidate = best.clone();
+                let v = match field {
+                    "planes" => &mut candidate.planes,
+                    _ => &mut candidate.sats_per_plane,
+                };
+                if *v <= 1 {
+                    break;
+                }
+                *v /= 2;
+                if !accept(&mut candidate, &mut best, &mut evals) {
+                    break;
+                }
+            }
+        }
+
+        // Pass 4: a shorter horizon (halve toward one step).
+        loop {
+            let mut candidate = best.clone();
+            if candidate.steps() <= 2 {
+                break;
+            }
+            candidate.horizon_s /= 2.0;
+            if !accept(&mut candidate, &mut best, &mut evals) {
+                break;
+            }
+        }
+
+        // Pass 5: simplify the knobs toward their plainest values.
+        for simplify in [
+            (|c: &mut Scenario| c.n_parties = 1) as fn(&mut Scenario),
+            |c| c.max_hops = 0,
+            |c| c.sgp4 = false,
+            |c| c.jitter = 0.0,
+            |c| c.gateway_stride = 1,
+            |c| c.ownership = crate::gen::Ownership::RoundRobin,
+            |c| c.epoch_steps = c.steps() + 1,
+        ] {
+            let mut candidate = best.clone();
+            simplify(&mut candidate);
+            accept(&mut candidate, &mut best, &mut evals);
+        }
+
+        if best == before || evals >= budget {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Violation;
+
+    fn violation() -> Violation {
+        Violation { oracle: "max-min".to_string(), detail: "synthetic".to_string() }
+    }
+
+    /// A synthetic oracle that fails whenever the scenario still has at
+    /// least `min_sats` satellites — shrinking must ride the boundary down
+    /// to it and stop.
+    fn fails_while_sats_at_least(min_sats: usize) -> impl Fn(&Scenario) -> Option<Violation> {
+        move |sc| (sc.n_sats() >= min_sats).then(violation)
+    }
+
+    #[test]
+    fn shrink_minimizes_against_a_synthetic_oracle() {
+        let sc = Scenario::generate(42);
+        assert!(sc.n_sats() >= 6);
+        let small = shrink(&sc, "max-min", 500, fails_while_sats_at_least(4));
+        assert!(small.n_sats() >= 4, "shrink may not cross the failure boundary");
+        assert!(small.n_sats() <= 7, "shrink should approach the boundary, got {}", small.n_sats());
+        assert!(small.schedule.events.is_empty(), "irrelevant events must be dropped");
+        assert_eq!(small.cities.len(), 1, "irrelevant cities must be dropped");
+        assert!(small.steps() <= sc.steps());
+    }
+
+    #[test]
+    fn shrink_rejects_candidates_that_fail_a_different_oracle() {
+        let sc = Scenario::generate(7);
+        // Small scenarios fail a *different* oracle, so they must be
+        // rejected even though they fail.
+        let tricky = |c: &Scenario| {
+            if c.n_sats() < sc.n_sats() {
+                Some(Violation { oracle: "other".to_string(), detail: String::new() })
+            } else {
+                Some(violation())
+            }
+        };
+        let small = shrink(&sc, "max-min", 200, tricky);
+        assert_eq!(small.n_sats(), sc.n_sats(), "must not accept a different failure");
+    }
+
+    #[test]
+    fn shrink_respects_the_evaluation_budget() {
+        let sc = Scenario::generate(13);
+        let count = std::cell::Cell::new(0usize);
+        let counting = |_: &Scenario| {
+            count.set(count.get() + 1);
+            Some(violation())
+        };
+        shrink(&sc, "max-min", 10, counting);
+        assert!(count.get() <= 10, "budget exceeded: {} evaluations", count.get());
+    }
+
+    #[test]
+    fn repro_round_trips_and_is_one_line() {
+        let sc = Scenario::generate(3);
+        let repro = Repro::new(&sc, &violation());
+        let json = repro.to_json();
+        assert_eq!(json.lines().count(), 1, "compact JSON is a single line");
+        let back = Repro::from_json(&json).unwrap();
+        assert_eq!(back.scenario, sc);
+        assert_eq!(back.oracle, "max-min");
+    }
+}

@@ -911,3 +911,163 @@ mod tests {
         assert!(ok.validate(steps, 5, 2, 2).is_ok());
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One satellite fail/recover event for the rolled-state model:
+    /// `(step, sat, is_fail)`.
+    fn arb_sat_events(
+        steps: usize,
+        n_sats: usize,
+    ) -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+        prop::collection::vec((0..steps, 0..n_sats, any::<bool>()), 0..24)
+    }
+
+    fn schedule_of(events: &[(usize, usize, bool)]) -> ChurnSchedule {
+        let mut schedule = ChurnSchedule::new();
+        for &(step, sat, is_fail) in events {
+            let event =
+                if is_fail { ChurnEvent::SatFail { sat } } else { ChurnEvent::SatRecover { sat } };
+            schedule = schedule.at(step, event);
+        }
+        schedule
+    }
+
+    /// The mask a campaign derives from one rolled state (mirrors
+    /// `run_campaign_with_routes`): `None` on nominal steps, else per-item
+    /// availability.
+    fn mask_of(state: &ChurnState, sat_party: &[usize]) -> Option<StepMask> {
+        if state.is_nominal() {
+            return None;
+        }
+        Some(StepMask {
+            sat_ok: (0..state.sat_failed.len())
+                .map(|s| !state.sat_failed[s] && !state.party_withdrawn[sat_party[s]])
+                .collect(),
+            gateway_ok: state.gateway_down.iter().map(|&d| !d).collect(),
+            terminal_factor: state.city_factor.clone(),
+        })
+    }
+
+    proptest! {
+        /// A zero-length outage window — fail and recover at the same
+        /// step, fail listed first — is invisible: events fire in list
+        /// order at the start of the step, so every rolled state stays
+        /// nominal and no step ever gets a mask.
+        #[test]
+        fn zero_length_window_is_invisible(
+            steps in 1usize..40,
+            step_frac in 0.0f64..1.0,
+            sat in 0usize..12,
+        ) {
+            let k = ((steps - 1) as f64 * step_frac) as usize;
+            let schedule = ChurnSchedule::new()
+                .at(k, ChurnEvent::SatFail { sat })
+                .at(k, ChurnEvent::SatRecover { sat });
+            let states = roll_states(&schedule, steps, 12, 1, 1, &[]);
+            let sat_party = vec![0usize; 12];
+            for (j, state) in states.iter().enumerate() {
+                prop_assert!(state.is_nominal(), "step {j} disturbed by a zero-length window");
+                prop_assert!(mask_of(state, &sat_party).is_none());
+            }
+        }
+
+        /// Recover listed *before* fail at the same step leaves the
+        /// satellite down from that step to the horizon — within-step list
+        /// order is semantic, not cosmetic.
+        #[test]
+        fn recover_before_fail_leaves_the_sat_down(
+            steps in 1usize..40,
+            step_frac in 0.0f64..1.0,
+            sat in 0usize..12,
+        ) {
+            let k = ((steps - 1) as f64 * step_frac) as usize;
+            let schedule = ChurnSchedule::new()
+                .at(k, ChurnEvent::SatRecover { sat })
+                .at(k, ChurnEvent::SatFail { sat });
+            let states = roll_states(&schedule, steps, 12, 1, 1, &[]);
+            let sat_party = vec![0usize; 12];
+            for (j, state) in states.iter().enumerate() {
+                prop_assert_eq!(state.sat_failed[sat], j >= k, "step {}", j);
+                match mask_of(state, &sat_party) {
+                    Some(mask) => {
+                        prop_assert!(j >= k);
+                        prop_assert!(!mask.sat_ok[sat]);
+                        prop_assert!(mask.sat_ok.iter().filter(|&&ok| !ok).count() == 1);
+                    }
+                    None => prop_assert!(j < k),
+                }
+            }
+        }
+
+        /// Arbitrary overlapping fail/recover windows reduce to
+        /// last-event-wins per satellite: at step `k` the satellite is down
+        /// iff the latest event at or before `k` — ordered by (step, list
+        /// position) — touching it is a `SatFail`. Pins the boolean-flag
+        /// semantics (a recover inside an overlapping window clears the
+        /// flag for *all* windows).
+        #[test]
+        fn overlapping_windows_follow_last_event_wins(
+            (steps, events) in (2usize..30).prop_flat_map(|steps| {
+                (Just(steps), arb_sat_events(steps, 6))
+            }),
+        ) {
+            let schedule = schedule_of(&events);
+            let states = roll_states(&schedule, steps, 6, 1, 1, &[]);
+            for k in 0..steps {
+                for sat in 0..6 {
+                    let expected = events
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &(step, s, _))| step <= k && s == sat)
+                        .max_by_key(|&(idx, &(step, _, _))| (step, idx))
+                        .is_some_and(|(_, &(_, _, is_fail))| is_fail);
+                    prop_assert_eq!(
+                        states[k].sat_failed[sat],
+                        expected,
+                        "step {} sat {}",
+                        k,
+                        sat
+                    );
+                }
+            }
+        }
+
+        /// The mask derivation is exact: a step gets `None` iff its rolled
+        /// state is nominal, and a present mask marks a satellite usable
+        /// iff it is neither failed nor owned by a withdrawn party.
+        #[test]
+        fn masks_match_rolled_states_exactly(
+            (steps, events) in (2usize..24).prop_flat_map(|steps| {
+                (Just(steps), arb_sat_events(steps, 6))
+            }),
+            withdraw_step_frac in 0.0f64..1.0,
+            with_withdrawal in any::<bool>(),
+        ) {
+            let mut schedule = schedule_of(&events);
+            if with_withdrawal {
+                let k = ((steps - 1) as f64 * withdraw_step_frac) as usize;
+                schedule = schedule.at(k, ChurnEvent::PartyWithdraw { party: 1 });
+            }
+            let sat_party: Vec<usize> = (0..6).map(|s| s % 2).collect();
+            let states = roll_states(&schedule, steps, 6, 2, 2, &[]);
+            for state in &states {
+                match mask_of(state, &sat_party) {
+                    None => prop_assert!(state.is_nominal()),
+                    Some(mask) => {
+                        prop_assert!(!state.is_nominal());
+                        prop_assert!(!mask.is_nominal());
+                        for s in 0..6 {
+                            let usable = !state.sat_failed[s]
+                                && !state.party_withdrawn[sat_party[s]];
+                            prop_assert_eq!(mask.sat_ok[s], usable);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -8,6 +8,33 @@
 //! and the peak hour so the 21 cities never move in lockstep; city `c`
 //! draws only from `run_rng(seed, c)`, so adding cities never perturbs
 //! existing ones and the matrix is reproducible bit-for-bit.
+//!
+//! ```
+//! use geodata::paper_cities;
+//! use leosim::TimeGrid;
+//! use orbital::time::Epoch;
+//! use traffic::demand::{DemandConfig, DemandMatrix};
+//!
+//! let cities = paper_cities();
+//! let epoch = Epoch::from_ymdhms(2024, 6, 1, 0, 0, 0.0);
+//! let grid = TimeGrid::new(epoch, 24.0 * 3600.0, 3600.0);
+//!
+//! let demand = DemandMatrix::generate(&cities, &grid, &DemandConfig::default());
+//! assert_eq!(demand.steps, grid.steps);
+//! assert_eq!(demand.cities.len(), cities.len());
+//! // Offered load is strictly positive (the diurnal floor is > 0) ...
+//! assert!(demand.offered_mbps.iter().all(|&v| v > 0.0));
+//! // ... and genuinely diurnal: the busiest hour of the day carries more
+//! // total load than the quietest one.
+//! let totals: Vec<f64> = (0..demand.steps).map(|k| demand.total_at(k)).collect();
+//! let peak = totals.iter().cloned().fold(f64::MIN, f64::max);
+//! let trough = totals.iter().cloned().fold(f64::MAX, f64::min);
+//! assert!(peak > trough);
+//! // Regenerating is bit-identical — the matrix is a pure function of
+//! // (cities, grid, config).
+//! let again = DemandMatrix::generate(&cities, &grid, &DemandConfig::default());
+//! assert_eq!(again.offered_mbps, demand.offered_mbps);
+//! ```
 
 use geodata::City;
 use leosim::montecarlo::run_rng;
@@ -65,6 +92,12 @@ pub fn local_solar_hour(epoch: &orbital::time::Epoch, lon_deg: f64) -> f64 {
 
 /// The diurnal shape: 1.0 at `peak_hour`, `floor` twelve hours away,
 /// cosine in between.
+///
+/// ```
+/// use traffic::demand::diurnal_shape;
+/// assert!((diurnal_shape(20.0, 20.0, 0.25) - 1.0).abs() < 1e-12); // peak
+/// assert!((diurnal_shape(8.0, 20.0, 0.25) - 0.25).abs() < 1e-12); // trough
+/// ```
 pub fn diurnal_shape(local_hour: f64, peak_hour: f64, floor: f64) -> f64 {
     let phase = (local_hour - peak_hour) / 24.0 * std::f64::consts::TAU;
     floor + (1.0 - floor) * 0.5 * (1.0 + phase.cos())

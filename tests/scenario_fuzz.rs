@@ -1,0 +1,75 @@
+//! CI smoke tier of the seeded scenario fuzzer.
+//!
+//! Re-checks the pinned corpus under `tests/corpus/` (the scenarios every
+//! run must keep passing) plus a fresh window of seeds starting at the
+//! date-independent `scenario::seeds::FUZZ_SMOKE_START`, then pins the
+//! strongest stress scenarios as individual regression tests.
+//!
+//! Regression provenance: a 220 000-seed hunt (seeds 0..220000, all
+//! oracles) found **zero** violations at the time this tier was added, so
+//! the pinned entries below are the *strongest survivors* — the scenarios
+//! that exercise the most machinery — rather than shrunk former failures.
+//! If the fuzzer ever finds a real failure, shrink it (`mpleo fuzz` does
+//! this automatically) and add the one-line repro JSON under
+//! `tests/corpus/` with `"scenario"` inline so it replays exactly.
+
+use scenario::seeds::FUZZ_SMOKE_START;
+use scenario::{check_scenario, load_corpus, run_fuzz, Scenario};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn pinned_corpus_passes_every_oracle() {
+    let entries = load_corpus(&corpus_dir()).expect("corpus must load");
+    assert!(entries.len() >= 5, "corpus lost entries: {}", entries.len());
+    for (path, entry) in entries {
+        if let Err(violation) = entry.check() {
+            panic!("{} ({}): {violation}", path.display(), entry.note);
+        }
+    }
+}
+
+#[test]
+fn fresh_seed_window_passes_every_oracle() {
+    // A fixed, date-independent window; CI adds more on top of this.
+    let report = run_fuzz(FUZZ_SMOKE_START, 8, None, &mut |_, _| {});
+    assert_eq!(report.checked, 8);
+    let repro_lines: Vec<String> = report.failures.iter().map(|r| r.to_json()).collect();
+    assert!(report.clean(), "fresh seeds failed:\n{}", repro_lines.join("\n"));
+}
+
+/// Regression: seed 2032 — the heaviest market scenario found in the
+/// initial 220k-seed hunt (221 trades over many epochs). Guards epoch
+/// clearing, zero-sum settlement, and signature verification under load.
+#[test]
+fn regression_market_stress_seed_2032() {
+    let sc = Scenario::generate(2032);
+    let outcome = check_scenario(&sc).unwrap_or_else(|v| panic!("seed 2032: {v}"));
+    assert!(outcome.trades >= 100, "scenario lost its market stress: {} trades", outcome.trades);
+}
+
+/// Regression: seed 513 — the largest work product found (60 sats x 95
+/// steps). Guards kernel-vs-reference equivalence and thread bit-identity
+/// on the biggest sampled surface.
+#[test]
+fn regression_scale_stress_seed_513() {
+    let sc = Scenario::generate(513);
+    assert!(sc.n_sats() * sc.steps() >= 4000, "scenario lost its scale");
+    let outcome = check_scenario(&sc).unwrap_or_else(|v| panic!("seed 513: {v}"));
+    assert!(outcome.reference_steps > 0, "reference cross-check must sample steps");
+}
+
+/// Regression: seed 247 — SGP4 propagation with 16 churn events across 4
+/// parties and a schedule that fully heals. Guards baseline-reuse identity
+/// on nominal steps and the monotone-recovery oracle.
+#[test]
+fn regression_churn_sgp4_stress_seed_247() {
+    let sc = Scenario::generate(247);
+    assert!(sc.sgp4, "scenario lost SGP4");
+    assert!(sc.schedule.events.len() >= 10, "scenario lost its churn density");
+    assert!(sc.fully_heals(), "scenario no longer heals");
+    check_scenario(&sc).unwrap_or_else(|v| panic!("seed 247: {v}"));
+}
